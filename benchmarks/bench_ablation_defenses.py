@@ -1,0 +1,18 @@
+"""Ablation A3: which defenses stop MetaLeak-T (Sections IX-A / IX-C)."""
+
+from conftest import run_once
+
+from repro.analysis.figures import ablation_defenses
+
+
+def test_ablation_defenses(benchmark, record_figure):
+    result = run_once(benchmark, ablation_defenses, bits=80)
+    record_figure(result)
+    baseline = result.row("baseline (no defense)").measured
+    partitioned = result.row("disjoint LLCs (cross-socket)").measured
+    isolated = result.row("per-domain isolated trees").measured
+    # Data-cache partitioning leaves the metadata channel intact...
+    assert baseline >= 0.95
+    assert partitioned >= 0.95
+    # ...while per-domain trees collapse it to coin flipping.
+    assert isolated <= 0.75

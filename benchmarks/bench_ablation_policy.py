@@ -1,0 +1,12 @@
+"""Ablation A2: the channel exists under both tree-update policies."""
+
+from conftest import run_once
+
+from repro.analysis.figures import ablation_update_policy
+
+
+def test_ablation_update_policy(benchmark, record_figure):
+    result = run_once(benchmark, ablation_update_policy, bits=80)
+    record_figure(result)
+    assert result.row("lazy policy accuracy").measured >= 0.95
+    assert result.row("eager policy accuracy").measured >= 0.95

@@ -1,0 +1,12 @@
+"""Ablation A6: split counter/tree caches don't stop the channel."""
+
+from conftest import run_once
+
+from repro.analysis.figures import ablation_split_caches
+
+
+def test_ablation_split_caches(benchmark, record_figure):
+    result = run_once(benchmark, ablation_split_caches, bits=60)
+    record_figure(result)
+    assert result.row("combined 256K: accuracy").measured >= 0.95
+    assert result.row("split 128K+128K: accuracy").measured >= 0.95

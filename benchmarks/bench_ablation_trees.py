@@ -1,0 +1,13 @@
+"""Ablation A4: the channel exists in every integrity-tree design."""
+
+from conftest import run_once
+
+from repro.analysis.figures import ablation_tree_designs
+
+
+def test_ablation_tree_designs(benchmark, record_figure):
+    result = run_once(benchmark, ablation_tree_designs, bits=80)
+    record_figure(result)
+    assert result.row("SCT (split-counter tree)").measured >= 0.95
+    assert result.row("HT (hash tree / BMT)").measured >= 0.95
+    assert result.row("SIT (SGX tree)").measured >= 0.95

@@ -1,0 +1,19 @@
+"""Figure 6: read-latency distributions across access paths (SCT)."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig6_access_paths
+
+
+def test_fig6_access_paths(benchmark, record_figure):
+    result = run_once(benchmark, fig6_access_paths, samples=60)
+    record_figure(result)
+    # Shape: strictly increasing latency across deeper paths.
+    measured = [row.measured for row in result.rows]
+    assert measured == sorted(measured)
+    # Bands must be separable: each deeper metadata path costs visibly more.
+    p2 = result.row("Path-2 (ctr hit)").measured
+    p3 = result.row("Path-3 (tree leaf hit)").measured
+    p4 = result.row("Path-4 (all levels missed)").measured
+    assert p3 - p2 >= 30
+    assert p4 - p3 >= 100

@@ -1,0 +1,27 @@
+"""Figure 7: read-latency distributions on the SGX (SIT) model."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig6_access_paths, fig7_sgx_paths
+
+
+def test_fig7_sgx_paths(benchmark, record_figure):
+    result = run_once(benchmark, fig7_sgx_paths, samples=60)
+    record_figure(result)
+    measured = [row.measured for row in result.rows]
+    assert measured == sorted(measured)
+    # Paper: SGX reads span ~150-700 cycles; the all-miss walk is serial
+    # and lands around 650.
+    deep = result.row("Path-4 (all levels missed)").measured
+    assert 500 <= deep <= 900
+    leaf_hit = result.row("Path-3 (tree leaf hit)").measured
+    assert 180 <= leaf_hit <= 330
+
+
+def test_fig7_sgx_range_wider_than_sct(benchmark, record_figure):
+    sct = fig6_access_paths(samples=20)
+    sgx = run_once(benchmark, fig7_sgx_paths, samples=20)
+    assert (
+        sgx.row("Path-4 (all levels missed)").measured
+        > sct.row("Path-4 (all levels missed)").measured
+    )

@@ -1,0 +1,17 @@
+"""Figure 8: memory latency bands with and without tree-counter overflow."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig8_overflow_bands
+
+
+def test_fig8_overflow_bands(benchmark, record_figure):
+    result = run_once(benchmark, fig8_overflow_bands, cycles=4)
+    record_figure(result)
+    # Shape: two clean bands; the overflow burst dwarfs the quiet band
+    # (paper: ~2000 cycles apart).
+    separation = result.row("band separation").measured
+    assert separation >= 800
+    quiet_max = result.row("no-overflow band (max)").measured
+    overflow_median = result.row("overflow band (median)").measured
+    assert overflow_median > 2 * quiet_max

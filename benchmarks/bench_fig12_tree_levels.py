@@ -1,0 +1,23 @@
+"""Figure 12: mEvict+mReload interval & coverage as the tree level rises."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig12_tree_levels
+
+
+def test_fig12_tree_levels(benchmark, record_figure):
+    result = run_once(benchmark, fig12_tree_levels, levels=(0, 1, 2, 3), rounds=40)
+    record_figure(result)
+    intervals = [
+        result.row(f"L{level} interval").measured for level in (0, 1, 2, 3)
+    ]
+    coverages = [
+        result.row(f"L{level} coverage").measured for level in (0, 1, 2, 3)
+    ]
+    # Shape: temporal resolution decreases (interval grows) with level...
+    assert intervals == sorted(intervals)
+    # ...while spatial coverage grows exponentially (arity 16 per level).
+    for lower, upper in zip(coverages, coverages[1:]):
+        assert upper == lower * 16
+    # Leaf coverage: one SCT L0 node covers 32 pages = 128 KiB.
+    assert coverages[0] == 128

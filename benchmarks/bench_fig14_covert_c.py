@@ -1,0 +1,12 @@
+"""Figure 14: MetaLeak-C covert channel — 7-bit symbol transmissions."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig14_covert_c
+
+
+def test_fig14_covert_channel(benchmark, record_figure):
+    result = run_once(benchmark, fig14_covert_c, symbols=150)
+    record_figure(result)
+    # Paper: 99.7% average symbol accuracy.
+    assert result.row("symbol accuracy").measured >= 0.96

@@ -1,0 +1,18 @@
+"""Secure-memory slowdown context (not a paper figure — a model guard)."""
+
+from conftest import run_once
+
+from repro.analysis.overhead import overhead_study
+
+
+def test_overhead_study(benchmark, record_figure):
+    result = run_once(benchmark, overhead_study, accesses=300)
+    record_figure(result)
+    for design in ("HT", "SCT"):
+        for pattern in ("seq-read", "stride-read", "rand-read"):
+            slowdown = result.row(f"{design} {pattern} slowdown").measured
+            # Protection must cost something on memory-bound reads, and
+            # nothing absurd (model-sanity band).
+            assert 1.0 <= slowdown <= 3.0
+    # Posted writes hide security work from the issuing core.
+    assert result.row("SCT seq-write slowdown").measured <= 1.2

@@ -1,0 +1,52 @@
+"""Design-space sweeps (Sections IV/V/IX discussion points)."""
+
+from conftest import run_once
+
+from repro.analysis.sweeps import (
+    sweep_metadata_cache_size,
+    sweep_minor_counter_bits,
+    sweep_noise_intensity,
+    sweep_replacement_policy,
+    sweep_step_interval,
+)
+
+
+def test_sweep_metadata_cache_size(benchmark, record_figure):
+    result = run_once(benchmark, sweep_metadata_cache_size, (64, 256, 512), 40)
+    record_figure(result)
+    for size in (64, 256, 512):
+        assert result.row(f"{size} KiB accuracy").measured >= 0.9
+
+
+def test_sweep_replacement_policy(benchmark, record_figure):
+    result = run_once(benchmark, sweep_replacement_policy, 40)
+    record_figure(result)
+    # The channel survives every policy; randomization may cost a little.
+    assert result.row("lru accuracy").measured >= 0.9
+    assert result.row("plru accuracy").measured >= 0.8
+    assert result.row("random accuracy").measured >= 0.6
+
+
+def test_sweep_minor_counter_bits(benchmark, record_figure):
+    result = run_once(benchmark, sweep_minor_counter_bits, (5, 6, 7))
+    record_figure(result)
+    for bits in (5, 6, 7):
+        assert result.row(f"{bits}-bit wrap bumps").measured == 2**bits - 1
+
+
+def test_sweep_step_interval(benchmark, record_figure):
+    result = run_once(benchmark, sweep_step_interval, (1, 2, 4), 64)
+    record_figure(result)
+    fine = result.row("interval=1 bit accuracy").measured
+    coarse = result.row("interval=4 bit accuracy").measured
+    assert fine >= 0.95
+    assert fine > coarse  # fine-grained stepping is what enables recovery
+
+
+def test_sweep_noise_intensity(benchmark, record_figure):
+    result = run_once(benchmark, sweep_noise_intensity, (0, 16), 40)
+    record_figure(result)
+    quiet = result.row("0 noise reads/step").measured
+    noisy = result.row("16 noise reads/step").measured
+    assert quiet >= noisy  # monotone degradation
+    assert quiet >= 0.95

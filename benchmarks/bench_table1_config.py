@@ -1,0 +1,52 @@
+"""Table I: the machine configurations under study.
+
+Not a timing benchmark — verifies that the shipped presets implement the
+exact Table-I parameters and records them alongside the benchmark run.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import FigureResult
+from repro.config import KIB, MIB, SecureProcessorConfig, TreeKind
+
+
+def test_table1_presets(benchmark, record_figure):
+    def build():
+        return (
+            SecureProcessorConfig.sct_default(),
+            SecureProcessorConfig.ht_default(),
+            SecureProcessorConfig.sgx_default(),
+        )
+
+    sct, ht, sgx = run_once(benchmark, build)
+
+    result = FigureResult(figure="Table I", title="Machine configurations")
+    result.add("cores", sct.cores, 4)
+    result.add("L1", sct.l1.size_bytes // KIB, 32, "KiB, 8-way")
+    result.add("L2", sct.l2.size_bytes // MIB, 1, "MiB, 4-way")
+    result.add("L3", sct.l3.size_bytes // MIB, 8, "MiB, 16-way")
+    result.add(
+        "metadata cache", sct.metadata_cache.size_bytes // KIB, 256, "KiB, 8-way"
+    )
+    result.add("AES latency", sct.crypto.aes_latency, 20, "cycles")
+    result.add("SC major bits", sct.counters.major_bits, 64)
+    result.add("SC minor bits", sct.counters.minor_bits, 7)
+    result.add("SCT arity L0", sct.tree.arities[0], 32)
+    result.add("SCT arity L1+", sct.tree.arities[1], 16)
+    result.add("SCT levels", sct.tree.levels, 6)
+    result.add("HT arity", ht.tree.arities[0], 8)
+    result.add("HT levels", ht.tree.levels, 6)
+    result.add("SGX counter bits", sgx.counters.monolithic_bits, 56)
+    result.add("SIT arity", sgx.tree.arities[0], 8)
+    result.add("SIT off-chip levels", sgx.tree.levels, "3 (+on-chip L3)")
+    record_figure(result)
+
+    assert sct.l1.ways == 8 and sct.l2.ways == 4 and sct.l3.ways == 16
+    assert sct.tree.kind is TreeKind.SPLIT_COUNTER
+    assert ht.tree.kind is TreeKind.HASH
+    assert sgx.tree.kind is TreeKind.SGX
+    assert sct.tree.arities == (32, 16, 16, 16, 16, 16)
+    assert sgx.tree.arities == (8, 8, 8)
+    for row in result.rows:
+        if isinstance(row.paper, (int, float)):
+            assert row.measured == row.paper, row.label

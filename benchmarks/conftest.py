@@ -1,0 +1,38 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure via the
+``repro.analysis.figures`` harness, records the paper-vs-measured table
+under ``benchmarks/results/``, echoes it to the terminal, and asserts the
+figure's *shape* claims (ordering, separability, who-wins) — absolute
+cycle counts are simulator-specific by design.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Persist and echo a FigureResult; returns the rendered table."""
+    from repro.analysis.report import format_result
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result):
+        text = format_result(result)
+        name = result.figure.lower().replace(" ", "_") + ".txt"
+        (RESULTS_DIR / name).write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

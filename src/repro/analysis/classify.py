@@ -1,0 +1,70 @@
+"""Two-page access classification from paired tree-node monitors.
+
+The case studies all share one shape: the victim touches exactly one of
+two pages per step (zero vs non-zero coefficient, square vs multiply,
+shift vs sub), and the attacker runs one :class:`TreeNodeMonitor` per page.
+``classify_pair`` fuses the two reload observations into a per-step label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.metaleak_t import TreeNodeMonitor
+
+
+@dataclass(frozen=True)
+class PairObservation:
+    label: str  # name_a | name_b | "none" | "both"
+    latency_a: int
+    latency_b: int
+    hit_a: bool
+    hit_b: bool
+
+
+class PairClassifier:
+    """Monitors two pages and labels which one the victim touched."""
+
+    def __init__(
+        self,
+        monitor_a: TreeNodeMonitor,
+        monitor_b: TreeNodeMonitor,
+        *,
+        name_a: str = "a",
+        name_b: str = "b",
+    ) -> None:
+        self.monitor_a = monitor_a
+        self.monitor_b = monitor_b
+        self.name_a = name_a
+        self.name_b = name_b
+        self.observations: list[PairObservation] = []
+
+    def m_evict(self) -> None:
+        self.monitor_a.m_evict()
+        self.monitor_b.m_evict()
+
+    def m_reload(self) -> str:
+        latency_a, hit_a = self.monitor_a.m_reload()
+        latency_b, hit_b = self.monitor_b.m_reload()
+        if hit_a and not hit_b:
+            label = self.name_a
+        elif hit_b and not hit_a:
+            label = self.name_b
+        elif hit_a and hit_b:
+            # Both nodes look cached: pick the stronger (faster relative to
+            # its own threshold) signal.
+            margin_a = self.monitor_a.threshold - latency_a
+            margin_b = self.monitor_b.threshold - latency_b
+            label = self.name_a if margin_a >= margin_b else self.name_b
+        else:
+            label = "none"
+        self.observations.append(
+            PairObservation(
+                label=label,
+                latency_a=latency_a,
+                latency_b=latency_b,
+                hit_a=hit_a,
+                hit_b=hit_b,
+            )
+        )
+        return label

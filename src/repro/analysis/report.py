@@ -1,0 +1,63 @@
+"""Reporting structures shared by the figure-regeneration harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Row:
+    """One row/series point of a regenerated figure."""
+
+    label: str
+    measured: float | str
+    paper: float | str | None = None
+    unit: str = ""
+
+
+@dataclass
+class FigureResult:
+    """A regenerated table/figure with paper-vs-measured rows."""
+
+    figure: str
+    title: str
+    rows: list[Row] = field(default_factory=list)
+    notes: str = ""
+
+    def add(
+        self,
+        label: str,
+        measured: float | str,
+        paper: float | str | None = None,
+        unit: str = "",
+    ) -> None:
+        self.rows.append(Row(label=label, measured=measured, paper=paper, unit=unit))
+
+    def row(self, label: str) -> Row:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(f"no row labelled {label!r} in {self.figure}")
+
+
+def _fmt(value: float | str | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_result(result: FigureResult) -> str:
+    """Render a FigureResult as an aligned paper-vs-measured table."""
+    header = f"== {result.figure}: {result.title} =="
+    label_width = max([len(r.label) for r in result.rows] + [5])
+    lines = [header, f"{'series':<{label_width}}  {'measured':>14}  {'paper':>14}  unit"]
+    for row in result.rows:
+        lines.append(
+            f"{row.label:<{label_width}}  {_fmt(row.measured):>14}  "
+            f"{_fmt(row.paper):>14}  {row.unit}"
+        )
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Design-space sweeps around the paper's discussion points.
+
+Beyond the headline figures, Sections IV/V/IX make quantitative claims
+about *why* the channel exists and what would (not) weaken it.  These
+sweeps turn those claims into experiments:
+
+* metadata-cache size — bigger caches slow mEvict (more eviction traffic)
+  but never remove the channel;
+* metadata-cache replacement policy — randomization raises the eviction
+  cost, it does not stop a reload-based channel (same argument as the
+  Figure-18 MIRAGE study);
+* tree minor-counter width — the overflow period (and thus MetaLeak-C's
+  symbol range / preset cost) scales as 2^bits;
+* background noise intensity — the channel degrades gracefully.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import FigureResult
+from repro.attacks.covert import CovertChannelT
+from repro.attacks.metaleak_c import MetaLeakC
+from repro.attacks.noise import NoiseProcess
+from repro.config import (
+    KIB,
+    MIB,
+    PAGE_SIZE,
+    CacheConfig,
+    SecureProcessorConfig,
+    TreeConfig,
+    TreeKind,
+)
+from repro.os.page_alloc import PageAllocator
+from repro.proc.processor import SecureProcessor
+from repro.utils.rng import derive_rng
+
+
+def _bits(count: int) -> list[int]:
+    rng = derive_rng(21, "sweep-bits")
+    return [rng.randint(0, 1) for _ in range(count)]
+
+
+def _machine(config: SecureProcessorConfig) -> tuple[SecureProcessor, PageAllocator]:
+    proc = SecureProcessor(config)
+    allocator = PageAllocator(proc.layout.data_size // PAGE_SIZE, cores=4)
+    return proc, allocator
+
+
+def sweep_metadata_cache_size(
+    sizes_kib: tuple[int, ...] = (64, 128, 256, 512), bits: int = 60
+) -> FigureResult:
+    """Covert accuracy and mEvict cost vs metadata-cache size."""
+    result = FigureResult(
+        figure="Sweep S1",
+        title="MetaLeak-T vs metadata-cache size",
+        notes="bigger caches raise eviction cost; the channel never closes",
+    )
+    payload = _bits(bits)
+    for size_kib in sizes_kib:
+        config = SecureProcessorConfig.sct_default(
+            protected_size=256 * MIB, functional_crypto=False
+        ).with_overrides(
+            metadata_cache=CacheConfig("MetaCache", size_kib * KIB, 8, 2)
+        )
+        proc, allocator = _machine(config)
+        channel = CovertChannelT(proc, allocator)
+        report = channel.transmit(payload)
+        evict_cost = channel.tx_monitor.stats.evict_accesses / max(
+            1, channel.tx_monitor.stats.rounds
+        )
+        result.add(f"{size_kib} KiB accuracy", report.accuracy, ">= 0.95")
+        result.add(
+            f"{size_kib} KiB evict accesses/round", round(evict_cost, 1), None
+        )
+    return result
+
+
+def sweep_replacement_policy(bits: int = 60) -> FigureResult:
+    """Covert accuracy vs metadata-cache replacement policy."""
+    result = FigureResult(
+        figure="Sweep S2",
+        title="MetaLeak-T vs metadata-cache replacement policy",
+        notes=(
+            "randomized replacement makes single-pass eviction "
+            "probabilistic, not impossible (Section IX-B's argument)"
+        ),
+    )
+    payload = _bits(bits)
+    for policy in ("lru", "plru", "random"):
+        config = SecureProcessorConfig.sct_default(
+            protected_size=256 * MIB, functional_crypto=False
+        ).with_overrides(
+            metadata_cache=CacheConfig(
+                "MetaCache", 256 * KIB, 8, 2, replacement=policy
+            )
+        )
+        proc, allocator = _machine(config)
+        report = CovertChannelT(proc, allocator).transmit(payload)
+        result.add(f"{policy} accuracy", report.accuracy, None)
+    return result
+
+
+def sweep_minor_counter_bits(
+    widths: tuple[int, ...] = (5, 6, 7, 8)
+) -> FigureResult:
+    """Overflow period vs tree minor-counter width (MetaLeak-C economics)."""
+    result = FigureResult(
+        figure="Sweep S3",
+        title="Tree-counter overflow period vs minor width",
+        notes="period = 2^bits updates; wider counters slow mPreset "
+        "quadratically in symbols/sec but raise the symbol alphabet",
+    )
+    for bits in widths:
+        config = SecureProcessorConfig.sct_default(
+            protected_size=128 * MIB, functional_crypto=False
+        ).with_overrides(
+            tree=TreeConfig(
+                kind=TreeKind.SPLIT_COUNTER,
+                arities=(32, 16, 16, 16, 16, 16),
+                major_bits=56,
+                minor_bits=bits,
+            )
+        )
+        proc, allocator = _machine(config)
+        attack = MetaLeakC(proc, allocator, core=1)
+        handle = attack.handle_for_page(0, level=1)
+        spent = handle.reset()
+        result.add(f"{bits}-bit reset bumps", spent, f"<= {2 ** bits + 1}")
+        # After reset the counter is 1; a full wrap takes 2^bits more.
+        wrap = handle.count_to_overflow()
+        result.add(f"{bits}-bit wrap bumps", wrap, 2**bits - 1)
+    return result
+
+
+def sweep_step_interval(
+    intervals: tuple[int, ...] = (1, 2, 4), exponent_bits: int = 64
+) -> FigureResult:
+    """RSA recovery vs SGX-Step interrupt granularity.
+
+    The paper interrupts every victim iteration ("every 500 cycles").
+    Coarser stepping aggregates several operations per probe window, so
+    the attacker sees the union of pages touched — per-op classification
+    degrades and with it exponent recovery.  This quantifies why
+    fine-grained stepping matters (Section VI-B's synchronization note).
+    """
+    from repro.analysis.classify import PairClassifier
+    from repro.analysis.rsa_attack import decode_exponent_bits, _exponent_bits
+    from repro.attacks.metaleak_t import MetaLeakT
+    from repro.os.process import Process
+    from repro.sgx.sgx_step import SgxStep
+    from repro.utils.stats import aligned_accuracy
+    from repro.victims.rsa import RsaModexpVictim, generate_test_key
+
+    result = FigureResult(
+        figure="Sweep S5",
+        title="RSA recovery vs SGX-Step interrupt interval",
+        notes="one interrupt per victim operation is what makes the "
+        "case studies precise; coarser stepping blurs operations together",
+    )
+    for interval in intervals:
+        config = SecureProcessorConfig.sct_default(
+            protected_size=256 * MIB, functional_crypto=False
+        )
+        proc, allocator = _machine(config)
+        process = Process(proc, allocator, core=0, cleanse=True)
+        allocator.stage_for_next_alloc(50 * 32, core=0)
+        allocator.stage_for_next_alloc(10 * 32, core=0)
+        victim = RsaModexpVictim(process)
+        attack = MetaLeakT(proc, allocator, core=1)
+        classifier = PairClassifier(
+            attack.monitor_for_page(victim.square_frame, level=0),
+            attack.monitor_for_page(victim.multiply_frame, level=0),
+            name_a="square",
+            name_b="multiply",
+        )
+        labels: list[str] = []
+
+        def before(step, _payload):
+            classifier.m_evict()
+
+        def probe(step, _payload):
+            labels.append(classifier.m_reload())
+
+        base, exponent, modulus = generate_test_key(exponent_bits)
+        SgxStep(interval=interval).run(
+            victim.modexp(base, exponent, modulus), probe=probe, before_step=before
+        )
+        accuracy = aligned_accuracy(
+            decode_exponent_bits(labels), _exponent_bits(exponent)
+        )
+        result.add(f"interval={interval} bit accuracy", accuracy, None)
+    return result
+
+
+def sweep_noise_intensity(
+    intensities: tuple[int, ...] = (0, 4, 16, 48), bits: int = 80
+) -> FigureResult:
+    """Covert accuracy vs co-running background traffic."""
+    result = FigureResult(
+        figure="Sweep S4",
+        title="MetaLeak-T vs background-noise intensity",
+        notes="graceful degradation; errors come from noise evicting the "
+        "shared node between victim access and reload",
+    )
+    payload = _bits(bits)
+    for reads_per_step in intensities:
+        config = SecureProcessorConfig.sct_default(
+            protected_size=256 * MIB, functional_crypto=False
+        )
+        proc, allocator = _machine(config)
+        noise = (
+            NoiseProcess(proc, allocator, reads_per_step=reads_per_step)
+            if reads_per_step
+            else None
+        )
+        report = CovertChannelT(proc, allocator, noise=noise).transmit(payload)
+        result.add(f"{reads_per_step} noise reads/step", report.accuracy, None)
+    return result

@@ -1,0 +1,126 @@
+"""Latency-trace analysis utilities.
+
+The attacks hand back raw latency sequences; these helpers turn them into
+decisions and diagnostics: band detection for multi-modal traces,
+windowed bit decoding, run-length segmentation, and a plain-text
+"sparkline" renderer for terminal trace snippets (Figures 11/14/16-style
+visualisation without a plotting dependency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.utils.stats import otsu_threshold, summarize
+
+
+@dataclass(frozen=True)
+class Band:
+    """One latency band of a multi-modal trace."""
+
+    low: float
+    high: float
+    count: int
+
+    @property
+    def center(self) -> float:
+        return (self.low + self.high) / 2
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def detect_bands(
+    latencies: Sequence[float], *, gap: float = 80.0
+) -> list[Band]:
+    """Cluster a latency sample into bands separated by ``gap`` cycles.
+
+    Single-pass over the sorted sample: a jump larger than ``gap`` starts
+    a new band.  Figures 6-8 are summarised this way.
+    """
+    if not latencies:
+        raise ValueError("empty latency trace")
+    ordered = sorted(float(v) for v in latencies)
+    bands: list[Band] = []
+    start = ordered[0]
+    previous = ordered[0]
+    count = 1
+    for value in ordered[1:]:
+        if value - previous > gap:
+            bands.append(Band(low=start, high=previous, count=count))
+            start = value
+            count = 0
+        previous = value
+        count += 1
+    bands.append(Band(low=start, high=previous, count=count))
+    return bands
+
+
+def classify_by_threshold(
+    latencies: Iterable[float], threshold: float | None = None
+) -> tuple[list[int], float]:
+    """Binarise a trace: 1 = below threshold (hit), 0 = above (miss).
+
+    With no threshold given, Otsu's cut over the trace itself is used —
+    what an attacker does when it cannot calibrate offline.
+    """
+    values = [float(v) for v in latencies]
+    if threshold is None:
+        threshold = otsu_threshold(values)
+    return [1 if value < threshold else 0 for value in values], threshold
+
+
+def run_lengths(bits: Sequence[int]) -> list[tuple[int, int]]:
+    """Compress a bit sequence into (value, length) runs."""
+    runs: list[tuple[int, int]] = []
+    for bit in bits:
+        if runs and runs[-1][0] == bit:
+            runs[-1] = (bit, runs[-1][1] + 1)
+        else:
+            runs.append((bit, 1))
+    return runs
+
+
+def majority_window_decode(
+    bits: Sequence[int], window: int
+) -> list[int]:
+    """Decode one symbol per ``window`` raw observations by majority vote.
+
+    Used when the attacker oversamples relative to the victim's symbol
+    rate (multiple mReload rounds per transmitted bit).
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    decoded = []
+    for start in range(0, len(bits) - window + 1, window):
+        chunk = bits[start : start + window]
+        decoded.append(1 if sum(chunk) * 2 >= len(chunk) else 0)
+    return decoded
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(latencies: Sequence[float], *, width: int = 64) -> str:
+    """Render a latency trace as a unicode sparkline (for examples/logs)."""
+    if not latencies:
+        return ""
+    values = [float(v) for v in latencies]
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    scale = (len(_SPARK_LEVELS) - 1) / (high - low)
+    return "".join(
+        _SPARK_LEVELS[int((value - low) * scale)] for value in values
+    )
+
+
+def describe_trace(latencies: Sequence[float]) -> str:
+    """One-line summary + sparkline, used by example scripts."""
+    stats = summarize(latencies)
+    return f"{sparkline(latencies)}  [{stats}]"

@@ -1,0 +1,116 @@
+"""Terminal-friendly visualisation of experiment data.
+
+No plotting dependency ships offline, so figures are rendered as aligned
+ASCII: histograms for latency distributions (Figures 6-8), bar charts for
+accuracy series, and CSV export for anyone who wants real plots.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.report import FigureResult
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 12,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """Render a latency sample as a vertical-bin ASCII histogram."""
+    if not values:
+        raise ValueError("cannot histogram an empty sample")
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return f"{label + ': ' if label else ''}all {len(values)} samples at {low:g}"
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - low) / span), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = [f"== {label} ==" if label else "== histogram =="]
+    for i, count in enumerate(counts):
+        left = low + i * span
+        bar_length = int(round(count / peak * width))
+        lines.append(
+            f"{left:>8.0f}-{left + span:<8.0f} {_BAR * bar_length}{'' if count else ''} {count}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_histogram(
+    samples: Mapping[str, Sequence[float]], *, width: int = 40
+) -> str:
+    """Stacked per-series histograms sharing one latency axis.
+
+    This is the Figure-6/7 view: one row per access path, bars positioned
+    by latency so band separation is visible at a glance.
+    """
+    all_values = [v for series in samples.values() for v in series]
+    if not all_values:
+        raise ValueError("no samples")
+    low, high = min(all_values), max(all_values)
+    span = max(1.0, high - low)
+    label_width = max(len(name) for name in samples)
+    lines = [f"{'':{label_width}}  {low:>6.0f} {'·' * width} {high:<6.0f}"]
+    for name, series in samples.items():
+        row = [" "] * (width + 1)
+        for value in series:
+            position = int((value - low) / span * width)
+            row[position] = _BAR
+        lines.append(f"{name:<{label_width}}  {'':6} {''.join(row)}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    entries: Iterable[tuple[str, float]],
+    *,
+    width: int = 40,
+    maximum: float | None = None,
+) -> str:
+    """Horizontal bar chart for accuracy/throughput series."""
+    rows = list(entries)
+    if not rows:
+        raise ValueError("no entries")
+    top = maximum if maximum is not None else max(value for _, value in rows)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        filled = value / top * width
+        bar = _BAR * int(filled)
+        if filled - int(filled) >= 0.5:
+            bar += _HALF
+        lines.append(f"{label:<{label_width}}  {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def figure_bar_chart(result: FigureResult, *, width: int = 40) -> str:
+    """Bar chart of a FigureResult's numeric rows."""
+    entries = [
+        (row.label, float(row.measured))
+        for row in result.rows
+        if isinstance(row.measured, (int, float))
+    ]
+    return f"== {result.figure}: {result.title} ==\n" + bar_chart(
+        entries, width=width
+    )
+
+
+def to_csv(result: FigureResult) -> str:
+    """Export a FigureResult as CSV (series,measured,paper,unit)."""
+    buffer = io.StringIO()
+    buffer.write("series,measured,paper,unit\n")
+    for row in result.rows:
+        paper = "" if row.paper is None else row.paper
+        buffer.write(f'"{row.label}",{row.measured},"{paper}","{row.unit}"\n')
+    return buffer.getvalue()

@@ -1,0 +1,36 @@
+"""MetaLeak: side channels through security metadata (Section VI).
+
+The framework exposes the paper's two attack variants plus the shared
+machinery they are built from:
+
+* :class:`~repro.attacks.mapping.MetadataMapper` — derive counter/tree-node
+  addresses and metadata-cache sets from data addresses, and find attacker
+  frames that map where needed;
+* :class:`~repro.attacks.mapping.MetadataEvictor` — evict chosen metadata
+  blocks using only data accesses (the indirection trick of Section VI-A);
+* :class:`~repro.attacks.metaleak_t.MetaLeakT` — mEvict+mReload monitoring
+  of shared integrity-tree nodes;
+* :class:`~repro.attacks.metaleak_c.MetaLeakC` — mPreset+mOverflow write
+  monitoring through tree-counter overflow;
+* covert channels built on each variant (Figures 11 and 14);
+* calibration and noise utilities.
+"""
+
+from repro.attacks.calibration import LatencyCalibrator
+from repro.attacks.covert import CovertChannelC, CovertChannelT
+from repro.attacks.mapping import MetadataEvictor, MetadataMapper
+from repro.attacks.metaleak_c import MetaLeakC
+from repro.attacks.metaleak_t import MetaLeakT, TreeNodeMonitor
+from repro.attacks.noise import NoiseProcess
+
+__all__ = [
+    "LatencyCalibrator",
+    "CovertChannelC",
+    "CovertChannelT",
+    "MetadataEvictor",
+    "MetadataMapper",
+    "MetaLeakC",
+    "MetaLeakT",
+    "TreeNodeMonitor",
+    "NoiseProcess",
+]

@@ -1,0 +1,139 @@
+"""Asynchronous MetaLeak-T covert channel — no lockstep assumption.
+
+:class:`~repro.attacks.covert.CovertChannelT` drives trojan and spy in
+strict alternation, which is why its boundary set looks redundant.  Real
+parties free-run; this variant models that: the spy oversamples — several
+mEvict+mReload rounds per trojan bit — and recovers bit windows from the
+*boundary* node's hit pattern, exactly the protocol of Figure 11: "Each
+band denotes one-bit transmission window (separated by a hit in the
+boundary set)."
+
+The trojan is a generator that performs its accesses when scheduled; a
+deterministic (seeded) interleaver decides who runs each quantum, so the
+spy's samples per bit vary run to run like they would on a live machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.attacks.covert import CovertChannelT
+from repro.attacks.noise import NoiseProcess
+from repro.os.page_alloc import PageAllocator
+from repro.proc.processor import SecureProcessor
+from repro.utils.rng import derive_rng
+from repro.utils.stats import accuracy
+
+
+@dataclass
+class AsyncReport:
+    sent: list[int]
+    received: list[int]
+    samples: int
+    windows_found: int
+    raw: list[tuple[bool, bool]] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        return accuracy(self.received, self.sent)
+
+
+class AsyncCovertChannelT(CovertChannelT):
+    """Free-running variant: spy oversamples, decodes via the boundary set."""
+
+    def __init__(
+        self,
+        proc: SecureProcessor,
+        allocator: PageAllocator,
+        *,
+        trojan_core: int = 0,
+        spy_core: int = 1,
+        level: int = 0,
+        noise: NoiseProcess | None = None,
+        spy_rounds_per_bit: int = 3,
+        seed: int = 23,
+    ) -> None:
+        super().__init__(
+            proc,
+            allocator,
+            trojan_core=trojan_core,
+            spy_core=spy_core,
+            level=level,
+            noise=noise,
+        )
+        if spy_rounds_per_bit < 2:
+            raise ValueError("the spy must oversample (>= 2 rounds per bit)")
+        self.spy_rounds_per_bit = spy_rounds_per_bit
+        self._rng = derive_rng(seed, "async-covert")
+
+    def _trojan_generator(
+        self, bits: list[int]
+    ) -> Generator[None, None, None]:
+        """The trojan's own program: one boundary-delimited window per bit."""
+        for bit in bits:
+            if bit:
+                self._trojan_access(self._trojan_tx)
+            self._trojan_access(self._trojan_bd)  # closes the bit window
+            yield
+
+    def _spy_round(self) -> tuple[bool, bool]:
+        """One spy round; returns (boundary_seen, tx_seen)."""
+        _, boundary_seen = self.bd_monitor.m_reload()
+        _, tx_seen = self.tx_monitor.m_reload()
+        self.bd_monitor.m_evict()
+        self.tx_monitor.m_evict()
+        if self.noise is not None:
+            self.noise.step()
+        return boundary_seen, tx_seen
+
+    def transmit_async(self, bits: list[int]) -> AsyncReport:
+        """Run trojan and spy interleaved; decode from boundary windows."""
+        trojan = self._trojan_generator(bits)
+        trojan_done = False
+        observations: list[tuple[bool, bool]] = []
+        # Prime: one evict pass so the first reload means something.
+        self.tx_monitor.m_evict()
+        self.bd_monitor.m_evict()
+        spy_budget = len(bits) * self.spy_rounds_per_bit + 16
+        while not trojan_done and len(observations) < spy_budget * 2:
+            # The interleaver gives the spy several quanta per trojan
+            # quantum (its sampling advantage), with seeded variation.
+            for _ in range(self._pick_spy_quanta()):
+                observations.append(self._spy_round())
+            try:
+                next(trojan)
+            except StopIteration:
+                trojan_done = True
+        # A few trailing rounds catch the final window's boundary mark.
+        for _ in range(self.spy_rounds_per_bit + 1):
+            observations.append(self._spy_round())
+
+        received = self._decode(observations, limit=len(bits))
+        return AsyncReport(
+            sent=list(bits),
+            received=received,
+            samples=len(observations),
+            windows_found=sum(1 for b, _ in observations if b),
+            raw=observations,
+        )
+
+    def _pick_spy_quanta(self) -> int:
+        jitter = self._rng.randint(-1, 1)
+        return max(1, self.spy_rounds_per_bit + jitter)
+
+    @staticmethod
+    def _decode(
+        observations: list[tuple[bool, bool]], *, limit: int
+    ) -> list[int]:
+        """Boundary hits delimit windows; any tx hit inside means '1'."""
+        received: list[int] = []
+        tx_seen_in_window = False
+        for boundary_seen, tx_seen in observations:
+            tx_seen_in_window = tx_seen_in_window or tx_seen
+            if boundary_seen:
+                received.append(int(tx_seen_in_window))
+                tx_seen_in_window = False
+                if len(received) == limit:
+                    break
+        return received

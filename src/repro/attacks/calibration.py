@@ -1,0 +1,93 @@
+"""Latency-threshold calibration (the attacker's profiling phase).
+
+Before mounting MetaLeak the attacker measures the machine's latency bands
+(Figures 6/7): it repeatedly reads its own scratch block with the tree leaf
+forced cached vs. forced missing, then picks the Otsu threshold between the
+two samples.  Only attacker-owned memory is touched.
+"""
+
+from __future__ import annotations
+
+from repro.config import PAGE_SIZE
+from repro.os.page_alloc import PageAllocator
+from repro.proc.processor import SecureProcessor
+from repro.utils.stats import otsu_threshold
+
+
+class LatencyCalibrator:
+    """Profiles reload-latency bands on attacker-owned memory."""
+
+    def __init__(
+        self,
+        proc: SecureProcessor,
+        allocator: PageAllocator,
+        *,
+        core: int = 0,
+        samples: int = 32,
+    ) -> None:
+        self.proc = proc
+        self.allocator = allocator
+        self.core = core
+        self.samples = samples
+
+    def _scratch_block(self) -> int:
+        frame = self.allocator.alloc(self.core)
+        return frame * PAGE_SIZE
+
+    def tree_hit_threshold(self) -> float:
+        """Threshold between 'leaf node cached' and 'leaf node missing'.
+
+        This is the discriminator mReload needs: the probe's counter block
+        always misses (the attacker evicts it), so the two cases differ by
+        exactly the leaf-node fetch.
+        """
+        scratch = self._scratch_block()
+        layout = self.proc.layout
+        counter_addr = layout.counter_block_addr(scratch)
+        leaf_addr = layout.node_addr_for_data(scratch, 0)
+        fast, slow = [], []
+        for _ in range(self.samples):
+            # Leaf cached, counter missing -> fast band (Path-3).
+            self.proc.read(scratch, core=self.core)
+            self.proc.flush(scratch)
+            self.proc.mee.invalidate_metadata(counter_addr)
+            self.proc.quiesce()
+            fast.append(self.proc.read(scratch, core=self.core).latency)
+            # Leaf missing as well -> slow band (Path-4, one level).
+            self.proc.flush(scratch)
+            self.proc.mee.invalidate_metadata(counter_addr)
+            self.proc.mee.invalidate_metadata(leaf_addr)
+            self.proc.quiesce()
+            slow.append(self.proc.read(scratch, core=self.core).latency)
+        return otsu_threshold(fast + slow)
+
+    def counter_hit_threshold(self) -> float:
+        """Threshold between Path-2 (counter cached) and Path-3/4."""
+        scratch = self._scratch_block()
+        counter_addr = self.proc.layout.counter_block_addr(scratch)
+        fast, slow = [], []
+        for _ in range(self.samples):
+            self.proc.read(scratch, core=self.core)
+            self.proc.flush(scratch)
+            self.proc.quiesce()
+            fast.append(self.proc.read(scratch, core=self.core).latency)
+            self.proc.flush(scratch)
+            self.proc.mee.invalidate_metadata(counter_addr)
+            self.proc.quiesce()
+            slow.append(self.proc.read(scratch, core=self.core).latency)
+        return otsu_threshold(fast + slow)
+
+    def overflow_delay_threshold(self) -> float:
+        """Threshold for detecting an in-flight overflow burst (Figure 8).
+
+        Measured as a comfortable multiple of the quiet-path latency; the
+        overflow burst is orders of magnitude above either band.
+        """
+        scratch = self._scratch_block()
+        quiet = []
+        for _ in range(self.samples):
+            self.proc.read(scratch, core=self.core)
+            self.proc.flush(scratch)
+            self.proc.quiesce()
+            quiet.append(self.proc.read(scratch, core=self.core).latency)
+        return max(quiet) + 400

@@ -1,0 +1,218 @@
+"""Covert channels built on MetaLeak-T and MetaLeak-C (Figures 11 & 14).
+
+Both channels run a trojan and a spy as two processes with *no shared
+data*; all communication flows through security metadata:
+
+* :class:`CovertChannelT` — the spy mEvict+mReloads two tree node blocks in
+  different metadata-cache sets; the trojan encodes a bit by accessing (or
+  not) a page under the *transmission* node, and always accesses a page
+  under the *boundary* node to delimit the bit window.
+* :class:`CovertChannelC` — the trojan encodes a 7-bit symbol as the number
+  of advances it applies to a shared tree minor counter; the spy decodes by
+  counting how many additional advances fire the overflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import PAGE_SIZE
+from repro.attacks.metaleak_c import MetaLeakC, SharedCounterHandle
+from repro.attacks.metaleak_t import MetaLeakT, TreeNodeMonitor
+from repro.attacks.noise import NoiseProcess
+from repro.os.page_alloc import PageAllocator
+from repro.proc.processor import SecureProcessor
+from repro.utils.stats import accuracy
+
+
+@dataclass
+class ChannelReport:
+    """Outcome of one covert transmission."""
+
+    sent: list[int]
+    received: list[int]
+    cycles: int
+    sync_errors: int = 0
+    latencies: list[int] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        return accuracy(self.received, self.sent)
+
+    def bits_per_kilocycle(self, bits_per_symbol: int = 1) -> float:
+        if self.cycles == 0:
+            return float("inf")
+        return len(self.sent) * bits_per_symbol / (self.cycles / 1000)
+
+
+class CovertChannelT:
+    """Bit-per-round channel over shared integrity-tree node caching."""
+
+    def __init__(
+        self,
+        proc: SecureProcessor,
+        allocator: PageAllocator,
+        *,
+        trojan_core: int = 0,
+        spy_core: int = 1,
+        level: int = 0,
+        noise: NoiseProcess | None = None,
+    ) -> None:
+        self.proc = proc
+        self.allocator = allocator
+        self.trojan_core = trojan_core
+        self.spy_core = spy_core
+        self.noise = noise
+        attack = MetaLeakT(proc, allocator, core=spy_core)
+        self.attack = attack
+
+        # Two page groups whose tree nodes land in different metadata-cache
+        # sets: one carries bits, the other marks bit boundaries.
+        self._trojan_tx, spy_tx = self._claim_group_pair(attack, level, salt=0)
+        self._trojan_bd, spy_bd = self._claim_group_pair(
+            attack, level, salt=1, avoid=self._node_set(attack, self._trojan_tx, level)
+        )
+        self.tx_monitor = attack.monitor_for_page(
+            self._trojan_tx, level=level, probe_frame=spy_tx
+        )
+        self.bd_monitor = attack.monitor_for_page(
+            self._trojan_bd, level=level, probe_frame=spy_bd
+        )
+
+    def _node_set(self, attack: MetaLeakT, frame: int, level: int) -> int:
+        node = attack.mapper.tree_node_addr(frame * PAGE_SIZE, level)
+        return attack.mapper.meta_set_of(node)
+
+    def _claim_group_pair(
+        self,
+        attack: MetaLeakT,
+        level: int,
+        *,
+        salt: int,
+        avoid: int | None = None,
+    ) -> tuple[int, int]:
+        """Claim (trojan_frame, spy_frame) sharing a level-``level`` node."""
+        layout = self.proc.layout
+        group_pages = len(layout.pages_sharing_node(0, level))
+        total_groups = layout.data_size // PAGE_SIZE // group_pages
+        for group in range(salt * 7 + 3, total_groups, 11):
+            frame = group * group_pages
+            if avoid is not None and self._node_set(attack, frame, level) == avoid:
+                continue
+            if self.allocator.is_allocated(frame) or self.allocator.is_allocated(
+                frame + 1
+            ):
+                continue
+            trojan = self.allocator.alloc_specific(frame)
+            spy = attack.claim_probe_page(trojan, level)
+            return trojan, spy
+        raise RuntimeError("no free page group for the covert channel")
+
+    # ------------------------------------------------------------------
+
+    def _trojan_access(self, frame: int) -> None:
+        addr = frame * PAGE_SIZE
+        self.proc.flush(addr)
+        self.proc.read(addr, core=self.trojan_core)
+
+    def transmit(self, bits: list[int]) -> ChannelReport:
+        """Run the full protocol for ``bits``; returns the spy's view."""
+        received: list[int] = []
+        latencies: list[int] = []
+        sync_errors = 0
+        start = self.proc.cycle
+        for bit in bits:
+            self.tx_monitor.m_evict()
+            self.bd_monitor.m_evict()
+            if self.noise is not None:
+                self.noise.step()
+            if bit:
+                self._trojan_access(self._trojan_tx)
+            self._trojan_access(self._trojan_bd)
+            if self.noise is not None:
+                self.noise.step()
+            _, boundary_seen = self.bd_monitor.m_reload()
+            latency, tx_seen = self.tx_monitor.m_reload()
+            if not boundary_seen:
+                sync_errors += 1
+            received.append(int(tx_seen))
+            latencies.append(latency)
+        return ChannelReport(
+            sent=list(bits),
+            received=received,
+            cycles=self.proc.cycle - start,
+            sync_errors=sync_errors,
+            latencies=latencies,
+        )
+
+
+class CovertChannelC:
+    """Symbol-per-overflow channel over a shared tree minor counter."""
+
+    def __init__(
+        self,
+        proc: SecureProcessor,
+        allocator: PageAllocator,
+        *,
+        trojan_core: int = 0,
+        spy_core: int = 1,
+        level: int = 1,
+        noise: NoiseProcess | None = None,
+    ) -> None:
+        self.proc = proc
+        self.noise = noise
+        factory_spy = MetaLeakC(proc, allocator, core=spy_core)
+        factory_trojan = MetaLeakC(proc, allocator, core=trojan_core)
+        # Pick an anchor frame; both parties claim pages in its subtree.
+        anchor = self._find_anchor(proc, allocator, level)
+        self.spy_handle: SharedCounterHandle = factory_spy.handle_for_page(
+            anchor, level=level, bump_page_count=8
+        )
+        self.trojan_handle: SharedCounterHandle = factory_trojan.handle_for_page(
+            anchor, level=level, bump_page_count=8
+        )
+        self.symbol_bits = proc.config.tree.minor_bits
+        self.max_symbol = self.spy_handle.minor_max - 1
+
+    @staticmethod
+    def _find_anchor(
+        proc: SecureProcessor, allocator: PageAllocator, level: int
+    ) -> int:
+        group_pages = len(proc.layout.pages_sharing_node(0, level - 1)) if level > 1 else len(
+            proc.layout.data_pages_under_node(0, 0)
+        )
+        total = proc.layout.data_size // PAGE_SIZE
+        for frame in range(0, total, group_pages):
+            if not allocator.is_allocated(frame):
+                return frame
+        raise RuntimeError("no free subtree for the covert channel")
+
+    # ------------------------------------------------------------------
+
+    def transmit(self, symbols: list[int]) -> ChannelReport:
+        """Send 7-bit symbols; spy decodes via counts-to-overflow."""
+        for symbol in symbols:
+            if not 0 <= symbol <= self.max_symbol:
+                raise ValueError(
+                    f"symbol {symbol} out of range 0..{self.max_symbol}"
+                )
+        received: list[int] = []
+        start = self.proc.cycle
+        # Initial mPreset: one overflow leaves the counter at a known 1.
+        self.spy_handle.reset()
+        # After an overflow the counter restarts at 1; the trojan adds s
+        # and the spy's m-th bump fires the next overflow when 1+s+(m-1)
+        # reaches the 127 saturation point, i.e. s = minor_max - m.
+        saturate = self.spy_handle.minor_max
+        for symbol in symbols:
+            for _ in range(symbol):
+                self.trojan_handle.bump()
+            if self.noise is not None:
+                self.noise.step()
+            extra = self.spy_handle.count_to_overflow()
+            received.append(saturate - extra)
+        return ChannelReport(
+            sent=list(symbols),
+            received=received,
+            cycles=self.proc.cycle - start,
+        )

@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info [--preset sct|ht|sgx]``
+    Print the machine configuration and metadata layout of a preset.
+
+``list``
+    List every regenerable figure/ablation and its paper reference.
+
+``figures [NAME ...] [--quick] [--out DIR]``
+    Regenerate paper figures (all by default).  ``--quick`` runs each at
+    reduced scale for a fast sanity pass; ``--out`` also writes the
+    tables to files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.analysis.report import FigureResult, format_result
+
+_FIGURE_DOC = {
+    "fig6": "Fig. 6  — access-path latency bands (SCT)",
+    "fig7": "Fig. 7  — SGX latency profile (SIT)",
+    "fig8": "Fig. 8  — counter-overflow latency bands",
+    "fig11": "Fig. 11 — MetaLeak-T covert channel",
+    "fig12": "Fig. 12 — resolution/coverage vs tree level",
+    "fig14": "Fig. 14 — MetaLeak-C covert channel",
+    "fig15": "Fig. 15 — libjpeg image stealing",
+    "fig16": "Fig. 16 — RSA exponent recovery",
+    "fig17": "Fig. 17 — mbedTLS shift/sub detection",
+    "fig18": "Fig. 18 — MIRAGE randomized-cache study",
+    "ablation_counters": "Abl. A1 — counter-scheme overflow scope",
+    "ablation_policy": "Abl. A2 — lazy vs eager tree updates",
+    "ablation_defenses": "Abl. A3 — defenses vs MetaLeak-T",
+    "ablation_trees": "Abl. A4 — MetaLeak-T across HT/SCT/SIT",
+    "ablation_mac": "Abl. A5 — MAC placement (Synergy vs classical)",
+    "ablation_split": "Abl. A6 — combined vs split metadata caches",
+}
+
+# Reduced-scale keyword arguments for --quick runs.
+_QUICK_KWARGS = {
+    "fig6": {"samples": 10},
+    "fig7": {"samples": 10},
+    "fig8": {"cycles": 1},
+    "fig11": {"bits": 120},
+    "fig12": {"rounds": 8},
+    "fig14": {"symbols": 12},
+    "fig15": {"images": ("circles",), "size": 16, "include_metaleak_c": False},
+    "fig16": {"exponent_bits": 48},
+    "fig17": {"secret_bits": 48},
+    "fig18": {"access_counts": (2000, 8000), "trials": 8},
+    "ablation_policy": {"bits": 16},
+    "ablation_defenses": {"bits": 16},
+}
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.config import SecureProcessorConfig
+    from repro.proc import SecureProcessor
+
+    presets = {
+        "sct": SecureProcessorConfig.sct_default,
+        "ht": SecureProcessorConfig.ht_default,
+        "sgx": SecureProcessorConfig.sgx_default,
+    }
+    config = presets[args.preset]()
+    proc = SecureProcessor(config)
+    print(f"preset          : {config.name}")
+    print(f"cores/sockets   : {config.cores}/{config.sockets}")
+    print(f"integrity tree  : {config.tree.kind.value} arities={config.tree.arities}")
+    print(f"counter scheme  : {config.counters.scheme.value}")
+    print(f"update policy   : {config.tree_update_policy.value}")
+    print(f"metadata cache  : {config.metadata_cache.size_bytes // 1024} KiB, "
+          f"{config.metadata_cache.ways}-way, {config.metadata_cache.replacement}")
+    print()
+    print(proc.layout.describe())
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name, doc in _FIGURE_DOC.items():
+        print(f"{name:<20} {doc}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import ALL_FIGURES
+
+    names = args.names or list(ALL_FIGURES)
+    unknown = [name for name in names if name not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {unknown}; see 'python -m repro list'",
+              file=sys.stderr)
+        return 2
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for name in names:
+        kwargs = _QUICK_KWARGS.get(name, {}) if args.quick else {}
+        started = time.time()
+        try:
+            result: FigureResult = ALL_FIGURES[name](**kwargs)
+        except Exception as error:  # surface, keep going
+            print(f"!! {name} failed: {error}", file=sys.stderr)
+            failures += 1
+            continue
+        text = format_result(result)
+        print(text)
+        print(f"   [{time.time() - started:.1f}s]\n")
+        if out_dir:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MetaLeak reproduction: secure-processor metadata "
+        "side channels (ISCA 2024)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="describe a machine preset")
+    info.add_argument("--preset", choices=("sct", "ht", "sgx"), default="sct")
+    info.set_defaults(func=_cmd_info)
+
+    listing = commands.add_parser("list", help="list regenerable figures")
+    listing.set_defaults(func=_cmd_list)
+
+    figures = commands.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("names", nargs="*", help="figure names (default: all)")
+    figures.add_argument("--quick", action="store_true", help="reduced scale")
+    figures.add_argument("--out", help="directory for result tables")
+    figures.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Functional cryptography for the simulated security engine.
+
+Real secure processors use AES-CTR and GHASH; the attack surface studied by
+the paper depends only on *when* these operations run and on counter state,
+never on cipher internals.  We therefore substitute a keyed BLAKE2b PRF:
+encryption still actually round-trips bytes (so tamper-detection tests are
+meaningful), while latency is modelled separately in ``repro.config``.
+"""
+
+from repro.crypto.mac import MacEngine
+from repro.crypto.engine import CounterModeEngine
+from repro.crypto.prf import keyed_prf, node_hash
+
+__all__ = ["MacEngine", "CounterModeEngine", "keyed_prf", "node_hash"]

@@ -1,0 +1,35 @@
+"""Keyed PRF primitives standing in for AES / GHASH hardware."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def _encode_part(part: bytes | int | str) -> bytes:
+    """Canonical length-prefixed encoding of one PRF input component."""
+    if isinstance(part, int):
+        raw = part.to_bytes((max(part.bit_length(), 1) + 7) // 8, "little", signed=False)
+    elif isinstance(part, str):
+        raw = part.encode()
+    else:
+        raw = bytes(part)
+    return len(raw).to_bytes(4, "little") + raw
+
+
+def keyed_prf(key: bytes, *parts: bytes | int | str, out_len: int = 64) -> bytes:
+    """Pseudo-random function over a tuple of components.
+
+    Components are length-prefixed before hashing so that no two distinct
+    tuples can collide by concatenation (e.g. (1, 23) vs (12, 3)).
+    """
+    if not 1 <= out_len <= 64:
+        raise ValueError("BLAKE2b supports digests of 1..64 bytes")
+    h = hashlib.blake2b(key=key[:64], digest_size=out_len)
+    for part in parts:
+        h.update(_encode_part(part))
+    return h.digest()
+
+
+def node_hash(key: bytes, *parts: bytes | int | str) -> int:
+    """64-bit embedded hash used inside integrity-tree node blocks."""
+    return int.from_bytes(keyed_prf(key, *parts, out_len=8), "little")

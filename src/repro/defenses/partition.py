@@ -1,0 +1,31 @@
+"""Data-cache partitioning stand-ins (shown ineffective, Section IX-A).
+
+Way/set partitioning of the data caches (DAWG, CATalyst) blocks data-cache
+contention channels but leaves the metadata cache and integrity tree fully
+shared at the memory controller — which is where MetaLeak lives.  The
+strongest version of data-cache isolation is physically separate LLCs,
+i.e. placing attacker and victim on different sockets; the covert channel
+still works there (Section VI-A), which is what the ablation benchmark
+demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.config import MIB, SecureProcessorConfig
+
+
+def partitioned_llc_config(
+    protected_size: int = 128 * MIB, **overrides: object
+) -> SecureProcessorConfig:
+    """Fully disjoint LLCs for attacker and victim: a 2-socket machine.
+
+    Stronger than any way-partitioning scheme — there is literally no
+    shared data cache — yet the metadata channel persists.
+    """
+    return SecureProcessorConfig.sct_default(
+        protected_size=protected_size,
+        cores=4,
+        sockets=2,
+        functional_crypto=False,
+        **overrides,
+    )

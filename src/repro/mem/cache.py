@@ -1,0 +1,168 @@
+"""Set-associative write-back cache with pluggable replacement.
+
+The model tracks block presence, dirtiness and recency; it does not store
+data bytes (the simulator's backing store lives behind the memory
+controller).  Both the data-cache hierarchy and the metadata cache at the
+memory controller instantiate this class.  Replacement defaults to true
+LRU (what the paper's mEvict analysis assumes); tree-PLRU and RANDOM are
+available for the ablation sweeps (see ``repro.mem.replacement``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CacheConfig
+from repro.mem.block import block_address
+from repro.mem.replacement import make_policy
+from repro.utils.bitops import log2_exact
+
+
+@dataclass(frozen=True)
+class CacheAccess:
+    """Outcome of one cache operation."""
+
+    hit: bool
+    evicted_addr: int | None = None
+    evicted_dirty: bool = False
+
+
+class _CacheSet:
+    """One set: way-slot arrays plus a replacement-policy instance."""
+
+    __slots__ = ("tags", "dirty", "index_of", "policy")
+
+    def __init__(self, ways: int, policy_name: str, seed: int) -> None:
+        self.tags: list[int | None] = [None] * ways
+        self.dirty: list[bool] = [False] * ways
+        self.index_of: dict[int, int] = {}
+        self.policy = make_policy(policy_name, ways, seed)
+
+
+class SetAssocCache:
+    """A classic set-associative cache."""
+
+    def __init__(
+        self, config: CacheConfig, *, replacement: str | None = None, seed: int = 0
+    ) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self.replacement = replacement or getattr(config, "replacement", "lru")
+        self._block_shift = log2_exact(config.block_size)
+        self._sets = [
+            _CacheSet(self.ways, self.replacement, seed + i)
+            for i in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+
+    def set_index_of(self, addr: int) -> int:
+        """Cache set that the block containing ``addr`` maps to."""
+        return (addr >> self._block_shift) % self.num_sets
+
+    def _set_of(self, addr: int) -> tuple[_CacheSet, int]:
+        block = block_address(addr)
+        return self._sets[self.set_index_of(block)], block
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def lookup(self, addr: int, *, touch: bool = True) -> bool:
+        """Probe for the block at ``addr``; optionally refresh its recency."""
+        cache_set, block = self._set_of(addr)
+        way = cache_set.index_of.get(block)
+        if way is not None:
+            if touch:
+                cache_set.policy.on_access(way)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Presence check with no side effects (no LRU update, no stats)."""
+        cache_set, block = self._set_of(addr)
+        return block in cache_set.index_of
+
+    def insert(self, addr: int, *, dirty: bool = False) -> CacheAccess:
+        """Fill the block at ``addr``, evicting a victim if needed.
+
+        If the block is already present this refreshes recency (and ORs in
+        the dirty bit) instead of double-filling.
+        """
+        cache_set, block = self._set_of(addr)
+        way = cache_set.index_of.get(block)
+        if way is not None:
+            cache_set.dirty[way] = cache_set.dirty[way] or dirty
+            cache_set.policy.on_access(way)
+            return CacheAccess(hit=True)
+        evicted_addr = None
+        evicted_dirty = False
+        free_way = next(
+            (w for w, tag in enumerate(cache_set.tags) if tag is None), None
+        )
+        if free_way is None:
+            occupied = [tag is not None for tag in cache_set.tags]
+            free_way = cache_set.policy.victim(occupied)
+            evicted_addr = cache_set.tags[free_way]
+            evicted_dirty = cache_set.dirty[free_way]
+            del cache_set.index_of[evicted_addr]
+        cache_set.tags[free_way] = block
+        cache_set.dirty[free_way] = dirty
+        cache_set.index_of[block] = free_way
+        cache_set.policy.on_fill(free_way)
+        return CacheAccess(
+            hit=False, evicted_addr=evicted_addr, evicted_dirty=evicted_dirty
+        )
+
+    def mark_dirty(self, addr: int) -> None:
+        """Set the dirty bit of a resident block (no-op if absent)."""
+        cache_set, block = self._set_of(addr)
+        way = cache_set.index_of.get(block)
+        if way is not None:
+            cache_set.dirty[way] = True
+
+    def is_dirty(self, addr: int) -> bool:
+        cache_set, block = self._set_of(addr)
+        way = cache_set.index_of.get(block)
+        return cache_set.dirty[way] if way is not None else False
+
+    def invalidate(self, addr: int) -> tuple[bool, bool]:
+        """Remove the block at ``addr``; returns (was_present, was_dirty)."""
+        cache_set, block = self._set_of(addr)
+        way = cache_set.index_of.pop(block, None)
+        if way is None:
+            return False, False
+        dirty = cache_set.dirty[way]
+        cache_set.tags[way] = None
+        cache_set.dirty[way] = False
+        return True, dirty
+
+    def blocks_in_set(self, set_index: int) -> list[int]:
+        """Resident block addresses of one set (eviction-priority first
+        under LRU; fill order otherwise)."""
+        cache_set = self._sets[set_index]
+        if self.replacement == "lru":
+            stack = cache_set.policy._stack  # LRU first
+            return [
+                cache_set.tags[w] for w in stack if cache_set.tags[w] is not None
+            ]
+        return [tag for tag in cache_set.tags if tag is not None]
+
+    def occupancy(self) -> int:
+        """Total resident blocks across all sets."""
+        return sum(len(s.index_of) for s in self._sets)
+
+    def __iter__(self):
+        for cache_set in self._sets:
+            yield from cache_set.index_of.keys()
+
+    def clear(self) -> None:
+        for i, cache_set in enumerate(self._sets):
+            self._sets[i] = _CacheSet(self.ways, self.replacement, i)

@@ -1,0 +1,75 @@
+"""Open-row DRAM bank timing model.
+
+Latency of an access = bus transfer + (row hit | row miss) + any wait for
+the bank to become free.  Banks can be marked *busy* for long stretches —
+that is how counter-overflow re-encryption bursts (Section V, Figure 8)
+delay concurrent reads and become observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DramConfig
+from repro.mem.block import bank_of
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    busy_until: int = 0
+
+
+class DramModel:
+    """A rank of open-row banks with per-bank busy tracking."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self._banks = [_BankState() for _ in range(config.banks)]
+        self.reads = 0
+        self.writes = 0
+
+    def _row_of(self, addr: int) -> int:
+        return addr // self.config.row_size
+
+    def bank_of(self, addr: int) -> int:
+        return bank_of(addr, self.config.banks)
+
+    def access(self, addr: int, now: int, *, is_write: bool = False) -> int:
+        """Perform one block access starting at cycle ``now``; return latency.
+
+        The returned latency includes any stall waiting for the target bank
+        to finish earlier work (e.g. a re-encryption burst).
+        """
+        bank = self._banks[self.bank_of(addr)]
+        wait = max(0, bank.busy_until - now)
+        row = self._row_of(addr)
+        if bank.open_row == row:
+            service = self.config.row_hit_latency
+        else:
+            service = self.config.row_miss_latency
+            bank.open_row = row
+        latency = wait + service + self.config.bus_latency
+        bank.busy_until = now + latency
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        return latency
+
+    def occupy_bank(self, addr: int, now: int, duration: int) -> None:
+        """Keep the bank serving ``addr`` busy for ``duration`` extra cycles."""
+        bank = self._banks[self.bank_of(addr)]
+        bank.busy_until = max(bank.busy_until, now) + duration
+
+    def occupy_all(self, now: int, duration: int) -> None:
+        """Keep every bank busy (whole-rank burst, e.g. group re-encryption)."""
+        for bank in self._banks:
+            bank.busy_until = max(bank.busy_until, now) + duration
+
+    def busy_until(self, addr: int) -> int:
+        return self._banks[self.bank_of(addr)].busy_until
+
+    def max_busy_until(self) -> int:
+        """Cycle by which every bank is idle again."""
+        return max(bank.busy_until for bank in self._banks)

@@ -1,0 +1,200 @@
+"""Three-level data-cache hierarchy shared by the simulated cores.
+
+Private L1/L2 per core, one shared inclusive L3 per socket.  The hierarchy
+reports where an access hit and what got written back, but defers actual
+memory traffic to the memory controller (the caller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SecureProcessorConfig
+from repro.mem.block import block_address
+from repro.mem.cache import SetAssocCache
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of one data-cache access.
+
+    ``hit_level`` is 1, 2 or 3, or ``None`` on a full miss; ``latency`` is
+    the cycles spent in the hierarchy itself (lookup plus hit service);
+    ``writebacks`` are dirty blocks pushed out to memory by this access.
+    """
+
+    hit_level: int | None
+    latency: int
+    writebacks: list[int] = field(default_factory=list)
+
+
+class CoreCaches:
+    """The private L1/L2 pair of one core."""
+
+    def __init__(self, config: SecureProcessorConfig) -> None:
+        self.l1 = SetAssocCache(config.l1)
+        self.l2 = SetAssocCache(config.l2)
+
+
+class DataCacheSystem:
+    """All data caches of the machine (cores x sockets).
+
+    The hierarchy is kept inclusive: a fill installs the block at every
+    level, and an L3 eviction back-invalidates the private caches of its
+    socket.  Inclusivity keeps the coherence story trivial while preserving
+    the property the attacks rely on: a flushed or evicted block's next
+    access reaches the memory controller.
+    """
+
+    def __init__(self, config: SecureProcessorConfig) -> None:
+        self.config = config
+        if config.cores % config.sockets != 0:
+            raise ValueError("cores must divide evenly across sockets")
+        self.cores_per_socket = config.cores // config.sockets
+        self.core_caches = [CoreCaches(config) for _ in range(config.cores)]
+        self.l3s = [SetAssocCache(config.l3) for _ in range(config.sockets)]
+
+    def socket_of(self, core: int) -> int:
+        return core // self.cores_per_socket
+
+    def _l3_of(self, core: int) -> SetAssocCache:
+        return self.l3s[self.socket_of(core)]
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    def access(self, core: int, addr: int, *, is_write: bool) -> HierarchyResult:
+        """Look up ``addr`` for ``core``; no fill happens on a miss."""
+        block = block_address(addr)
+        caches = self.core_caches[core]
+        l3 = self._l3_of(core)
+        config = self.config
+
+        if caches.l1.lookup(block):
+            if is_write:
+                caches.l1.mark_dirty(block)
+            return HierarchyResult(hit_level=1, latency=config.l1.hit_latency)
+
+        lookup_cost = config.l1.hit_latency
+        if caches.l2.lookup(block):
+            latency = lookup_cost + config.l2.hit_latency
+            result = self._promote_to_l1(core, block, dirty=is_write)
+            result.hit_level = 2
+            result.latency += latency
+            return result
+
+        lookup_cost += config.l2.hit_latency
+        if l3.lookup(block):
+            latency = lookup_cost + config.l3.hit_latency
+            result = self._promote_to_l1_l2(core, block, dirty=is_write)
+            result.hit_level = 3
+            result.latency += latency
+            return result
+
+        lookup_cost += config.l3.hit_latency
+        return HierarchyResult(hit_level=None, latency=lookup_cost)
+
+    def fill(self, core: int, addr: int, *, dirty: bool) -> list[int]:
+        """Install a block fetched from memory at all levels.
+
+        Returns dirty blocks evicted to memory as a side effect.
+        """
+        block = block_address(addr)
+        writebacks: list[int] = []
+        l3 = self._l3_of(core)
+        l3_evt = l3.insert(block)
+        if l3_evt.evicted_addr is not None:
+            # Inclusive L3: back-invalidate private copies in this socket.
+            dirty_private = self._back_invalidate(core, l3_evt.evicted_addr)
+            if l3_evt.evicted_dirty or dirty_private:
+                writebacks.append(l3_evt.evicted_addr)
+        writebacks.extend(self._fill_private(core, block, dirty=dirty))
+        return writebacks
+
+    def _fill_private(self, core: int, block: int, *, dirty: bool) -> list[int]:
+        caches = self.core_caches[core]
+        writebacks: list[int] = []
+        l2_evt = caches.l2.insert(block)
+        if l2_evt.evicted_addr is not None and l2_evt.evicted_dirty:
+            # Dirty L2 victim folds into the (inclusive) L3 copy if present,
+            # otherwise it must go to memory.
+            l3 = self._l3_of(core)
+            if l3.contains(l2_evt.evicted_addr):
+                l3.mark_dirty(l2_evt.evicted_addr)
+            else:
+                writebacks.append(l2_evt.evicted_addr)
+        l1_evt = caches.l1.insert(block, dirty=dirty)
+        if l1_evt.evicted_addr is not None and l1_evt.evicted_dirty:
+            if caches.l2.contains(l1_evt.evicted_addr):
+                caches.l2.mark_dirty(l1_evt.evicted_addr)
+            else:
+                l3 = self._l3_of(core)
+                if l3.contains(l1_evt.evicted_addr):
+                    l3.mark_dirty(l1_evt.evicted_addr)
+                else:
+                    writebacks.append(l1_evt.evicted_addr)
+        return writebacks
+
+    def _promote_to_l1(self, core: int, block: int, *, dirty: bool) -> HierarchyResult:
+        writebacks = self._fill_l1_only(core, block, dirty=dirty)
+        return HierarchyResult(hit_level=None, latency=0, writebacks=writebacks)
+
+    def _promote_to_l1_l2(
+        self, core: int, block: int, *, dirty: bool
+    ) -> HierarchyResult:
+        writebacks = self._fill_private(core, block, dirty=dirty)
+        return HierarchyResult(hit_level=None, latency=0, writebacks=writebacks)
+
+    def _fill_l1_only(self, core: int, block: int, *, dirty: bool) -> list[int]:
+        caches = self.core_caches[core]
+        writebacks: list[int] = []
+        l1_evt = caches.l1.insert(block, dirty=dirty)
+        if l1_evt.evicted_addr is not None and l1_evt.evicted_dirty:
+            if caches.l2.contains(l1_evt.evicted_addr):
+                caches.l2.mark_dirty(l1_evt.evicted_addr)
+            else:
+                writebacks.append(l1_evt.evicted_addr)
+        return writebacks
+
+    def _back_invalidate(self, core: int, block: int) -> bool:
+        """Remove ``block`` from all private caches in ``core``'s socket."""
+        socket = self.socket_of(core)
+        dirty_any = False
+        first = socket * self.cores_per_socket
+        for caches in self.core_caches[first : first + self.cores_per_socket]:
+            for cache in (caches.l1, caches.l2):
+                _, dirty = cache.invalidate(block)
+                dirty_any = dirty_any or dirty
+        return dirty_any
+
+    # ------------------------------------------------------------------
+    # Maintenance operations
+    # ------------------------------------------------------------------
+
+    def flush(self, addr: int) -> tuple[bool, list[int]]:
+        """clflush analogue: drop the block machine-wide.
+
+        Returns (was_dirty_anywhere, writebacks) — dirty copies must be
+        written back (the processor routes them to the memory controller).
+        """
+        block = block_address(addr)
+        dirty_any = False
+        for caches in self.core_caches:
+            for cache in (caches.l1, caches.l2):
+                _, dirty = cache.invalidate(block)
+                dirty_any = dirty_any or dirty
+        for l3 in self.l3s:
+            _, dirty = l3.invalidate(block)
+            dirty_any = dirty_any or dirty
+        return dirty_any, ([block] if dirty_any else [])
+
+    def contains(self, addr: int) -> bool:
+        """True if any cache in the machine holds the block (no side effects)."""
+        block = block_address(addr)
+        if any(l3.contains(block) for l3 in self.l3s):
+            return True
+        return any(
+            caches.l1.contains(block) or caches.l2.contains(block)
+            for caches in self.core_caches
+        )

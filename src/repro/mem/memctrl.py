@@ -1,0 +1,124 @@
+"""Memory controller: read servicing plus a merging write queue.
+
+Writes are *posted*: the issuing core pays only the enqueue cost, and the
+queue drains in the background, occupying DRAM banks.  Two properties the
+paper's MetaLeak-C analysis (Section VI-B) depends on are modelled
+explicitly:
+
+* writes to a block already pending in the queue are **merged** — the block
+  is written (and its encryption counter bumped) once, not twice;
+* the queue drains when it passes its high watermark, or when the attacker
+  forces a drain (redundant writes / explicit flush), and the drain burst
+  makes banks busy, delaying concurrently timed reads.
+
+Security work done at write-service time (encryption, counter increment,
+possible overflow handling) is delegated to a ``write_sink`` callback
+installed by the memory encryption engine, keeping this module free of
+metadata knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import DramConfig, MemCtrlConfig
+from repro.mem.block import block_address
+from repro.mem.dram import DramModel
+
+# Cycles to place a request into a controller queue.
+_ENQUEUE_LATENCY = 4
+# Cycles to forward read data straight out of the write queue.
+_FORWARD_LATENCY = 20
+
+WriteSink = Callable[[int, int], int]
+"""(block_addr, service_cycle) -> extra engine cycles for this write."""
+
+
+@dataclass
+class WriteQueueEntry:
+    addr: int
+    enqueued_at: int
+    merged: int = 0
+
+
+class MemoryController:
+    """FR-FCFS-flavoured controller front-ending one DRAM rank."""
+
+    def __init__(self, config: MemCtrlConfig, dram_config: DramConfig) -> None:
+        self.config = config
+        self.dram = DramModel(dram_config)
+        self._write_queue: dict[int, WriteQueueEntry] = {}
+        self._write_sink: WriteSink | None = None
+        self.reads_serviced = 0
+        self.writes_serviced = 0
+        self.writes_merged = 0
+        self.drains = 0
+
+    def set_write_sink(self, sink: WriteSink) -> None:
+        """Install the security-engine callback run when a write services."""
+        self._write_sink = sink
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read_block(self, addr: int, now: int) -> int:
+        """Service a block read at cycle ``now``; return its latency."""
+        block = block_address(addr)
+        if block in self._write_queue:
+            return _FORWARD_LATENCY
+        self.reads_serviced += 1
+        return _ENQUEUE_LATENCY + self.dram.access(block, now + _ENQUEUE_LATENCY)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def enqueue_write(self, addr: int, now: int) -> int:
+        """Post a block write; returns the (small) cycles the core observes."""
+        block = block_address(addr)
+        entry = self._write_queue.get(block)
+        if entry is not None:
+            if self.config.write_merge:
+                entry.merged += 1
+                self.writes_merged += 1
+                return _ENQUEUE_LATENCY
+            # Without merging, an in-queue duplicate forces ordering: drain.
+            self.drain(now)
+        watermark = int(self.config.write_queue_entries * self.config.drain_watermark)
+        if len(self._write_queue) >= watermark:
+            self.drain(now)
+        self._write_queue[block] = WriteQueueEntry(addr=block, enqueued_at=now)
+        return _ENQUEUE_LATENCY
+
+    def drain(self, now: int) -> int:
+        """Service every queued write starting at ``now``.
+
+        Banks are left busy until the drain burst completes; the caller's
+        own clock does not advance (posted writes), so a concurrently timed
+        read observes the burst as extra wait — the Figure-8 signal.
+        Returns the cycle at which the drain finishes.
+        """
+        if not self._write_queue:
+            return now
+        self.drains += 1
+        t = now
+        entries = list(self._write_queue.values())
+        self._write_queue.clear()
+        for entry in entries:
+            t += self.dram.access(entry.addr, t, is_write=True)
+            self.writes_serviced += 1
+            if self._write_sink is not None:
+                t += self._write_sink(entry.addr, t)
+        return t
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def pending_writes(self) -> int:
+        return len(self._write_queue)
+
+    def write_pending_for(self, addr: int) -> bool:
+        return block_address(addr) in self._write_queue

@@ -1,0 +1,126 @@
+"""Replacement policies for the set-associative caches.
+
+LRU is the default everywhere (and what the paper's mEvict analysis
+assumes); tree-PLRU approximates real L2/LLC hardware; RANDOM is the
+classic obfuscation knob.  The metadata-cache sweep in
+``repro.analysis.sweeps`` uses these to show that MetaLeak-T survives
+replacement-policy changes — eviction sets just need a few more entries.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.utils.rng import DeterministicRng, derive_rng
+
+
+class ReplacementPolicy(abc.ABC):
+    """Per-set victim selection over a fixed number of ways."""
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+
+    @abc.abstractmethod
+    def on_access(self, way: int) -> None:
+        """A resident way was touched."""
+
+    @abc.abstractmethod
+    def on_fill(self, way: int) -> None:
+        """A way was (re)filled."""
+
+    @abc.abstractmethod
+    def victim(self, occupied: list[bool]) -> int:
+        """Choose the way to evict (all ways occupied)."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """True least-recently-used via an age stack."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._stack: list[int] = []  # LRU first
+
+    def on_access(self, way: int) -> None:
+        if way in self._stack:
+            self._stack.remove(way)
+        self._stack.append(way)
+
+    def on_fill(self, way: int) -> None:
+        self.on_access(way)
+
+    def victim(self, occupied: list[bool]) -> int:
+        for way in self._stack:
+            if occupied[way]:
+                return way
+        return 0
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU (the common hardware approximation)."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise ValueError("tree-PLRU needs a power-of-two way count")
+        self._bits = [0] * max(1, ways - 1)
+
+    def _walk_update(self, way: int) -> None:
+        node = 0
+        span = self.ways
+        while span > 1:
+            half = span // 2
+            go_right = way % span >= half
+            # Point away from the touched half.
+            self._bits[node] = 0 if go_right else 1
+            node = 2 * node + (2 if go_right else 1)
+            way %= span
+            if go_right:
+                way -= half
+            span = half
+
+    def on_access(self, way: int) -> None:
+        self._walk_update(way)
+
+    def on_fill(self, way: int) -> None:
+        self._walk_update(way)
+
+    def victim(self, occupied: list[bool]) -> int:
+        node = 0
+        base = 0
+        span = self.ways
+        while span > 1:
+            half = span // 2
+            go_right = self._bits[node] == 1
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                base += half
+            span = half
+        return base
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim (deterministic under the experiment seed)."""
+
+    def __init__(self, ways: int, rng: DeterministicRng | None = None) -> None:
+        super().__init__(ways)
+        self._rng = rng or derive_rng(0, "random-repl")
+
+    def on_access(self, way: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def on_fill(self, way: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def victim(self, occupied: list[bool]) -> int:
+        return self._rng.randrange(self.ways)
+
+
+def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by config name."""
+    if name == "lru":
+        return LruPolicy(ways)
+    if name == "plru":
+        return TreePlruPolicy(ways)
+    if name == "random":
+        return RandomPolicy(ways, derive_rng(seed, "random-repl"))
+    raise ValueError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,15 @@
+"""Minimal OS model: physical page allocation and process address spaces.
+
+The attacks need two OS-level capabilities the paper leans on:
+
+* the **per-core free-page list** behaviour of Linux that lets an attacker
+  steer which physical frame a victim allocation receives (Section
+  VIII-A1's page-colocation technique, after [58], [90]);
+* simple virtual address spaces so victim programs can place variables on
+  chosen pages without knowing physical layout.
+"""
+
+from repro.os.page_alloc import PageAllocator
+from repro.os.process import AddressSpace, Process
+
+__all__ = ["PageAllocator", "AddressSpace", "Process"]

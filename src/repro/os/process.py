@@ -1,0 +1,112 @@
+"""Process and address-space abstractions over the secure processor.
+
+A :class:`Process` owns an :class:`AddressSpace` (virtual-page -> physical-
+frame map) and issues reads/writes on a fixed core.  Victim programs are
+written against this interface so the same code runs on any machine
+configuration (SCT / HT / SGX presets).
+
+The ``cleanse`` flag models the threat-model assumption of Section III that
+the victim's accesses of interest reach the LLC/memory controller (cache
+cleansing between security-domain switches, or persistent-memory style
+write-through): when set, every access is followed by a flush of the line.
+"""
+
+from __future__ import annotations
+
+from repro.config import PAGE_SIZE
+from repro.os.page_alloc import PageAllocator
+from repro.proc.processor import AccessResult, SecureProcessor
+
+
+class AddressSpace:
+    """A sparse virtual -> physical page map."""
+
+    def __init__(self, allocator: PageAllocator, core: int = 0) -> None:
+        self.allocator = allocator
+        self.core = core
+        self._map: dict[int, int] = {}
+        self._next_vpage = 0x100  # arbitrary non-zero base
+
+    def map_page(self, vpage: int | None = None, frame: int | None = None) -> int:
+        """Map a virtual page; returns the virtual page number.
+
+        ``frame`` pins a specific physical frame (attacker/OS-controlled
+        placement); otherwise the per-core allocator decides.
+        """
+        if vpage is None:
+            vpage = self._next_vpage
+            self._next_vpage += 1
+        if vpage in self._map:
+            raise ValueError(f"virtual page {vpage:#x} already mapped")
+        if frame is None:
+            frame = self.allocator.alloc(self.core)
+        else:
+            frame = self.allocator.alloc_specific(frame)
+        self._map[vpage] = frame
+        return vpage
+
+    def alloc(self, pages: int = 1) -> int:
+        """Map ``pages`` consecutive virtual pages; returns base vaddr."""
+        base = self._next_vpage
+        for i in range(pages):
+            self.map_page(base + i)
+        self._next_vpage = base + pages
+        return base * PAGE_SIZE
+
+    def translate(self, vaddr: int) -> int:
+        vpage, offset = divmod(vaddr, PAGE_SIZE)
+        frame = self._map.get(vpage)
+        if frame is None:
+            raise KeyError(f"virtual address {vaddr:#x} not mapped")
+        return frame * PAGE_SIZE + offset
+
+    def frame_of(self, vaddr: int) -> int:
+        return self.translate(vaddr) // PAGE_SIZE
+
+    def mapped_pages(self) -> dict[int, int]:
+        return dict(self._map)
+
+
+class Process:
+    """A software context: address space + core + cleansing policy."""
+
+    def __init__(
+        self,
+        proc: SecureProcessor,
+        allocator: PageAllocator,
+        *,
+        core: int = 0,
+        cleanse: bool = False,
+        name: str = "proc",
+    ) -> None:
+        self.proc = proc
+        self.address_space = AddressSpace(allocator, core)
+        self.core = core
+        self.cleanse = cleanse
+        self.name = name
+
+    def alloc(self, pages: int = 1) -> int:
+        return self.address_space.alloc(pages)
+
+    def map_page(self, vpage: int | None = None, frame: int | None = None) -> int:
+        return self.address_space.map_page(vpage, frame)
+
+    def read(self, vaddr: int) -> AccessResult:
+        paddr = self.address_space.translate(vaddr)
+        result = self.proc.read(paddr, core=self.core)
+        if self.cleanse:
+            self.proc.flush(paddr)
+        return result
+
+    def write(self, vaddr: int, data: bytes | None = None) -> AccessResult:
+        paddr = self.address_space.translate(vaddr)
+        if self.cleanse:
+            # Cleansed/persistent writes go straight to the MC.
+            return self.proc.write_through(paddr, data, core=self.core)
+        return self.proc.write(paddr, data, core=self.core)
+
+    def flush(self, vaddr: int) -> None:
+        self.proc.flush(self.address_space.translate(vaddr))
+
+    def paddr(self, vaddr: int) -> int:
+        return self.address_space.translate(vaddr)

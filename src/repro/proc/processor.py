@@ -1,0 +1,260 @@
+"""`SecureProcessor` — the machine the victims run on and attacks target.
+
+The processor composes the data-cache hierarchy, memory controller and
+memory encryption engine, and exposes the software-visible operations the
+paper's threat model assumes:
+
+* ``read`` / ``write`` — ordinary accesses (write-allocate, write-back);
+* ``write_through`` — a persisted store (clwb+fence style) that reaches the
+  memory controller immediately, as in the persistent-memory applications
+  and cache-cleansed victims of Section III;
+* ``flush`` — clflush of one's own lines (cache cleansing);
+* ``drain_writes`` — force the MC write queue to service, the primitive
+  MetaLeak-C uses to control counter state;
+* a global cycle clock advanced by every operation, so concurrently
+  "running" attacker and victim calls observe each other through DRAM bank
+  busy state (overflow bursts) and shared metadata-cache state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import BLOCK_SIZE, SecureProcessorConfig
+from repro.mem.block import block_address
+from repro.mem.hierarchy import DataCacheSystem
+from repro.mem.memctrl import MemoryController
+from repro.proc.paths import AccessPath
+from repro.secmem.engine import MemoryEncryptionEngine
+
+_FLUSH_LATENCY = 40
+_STORE_BUFFER_LATENCY = 6
+
+
+@dataclass
+class AccessResult:
+    """What one processor-level access did and how long it took."""
+
+    latency: int
+    path: AccessPath
+    cycle: int
+    counter_hit: bool = False
+    tree_levels_missed: int = 0
+    data: bytes = b""
+
+
+@dataclass
+class ProcessorStats:
+    reads: int = 0
+    writes: int = 0
+    flushes: int = 0
+    path_counts: dict[AccessPath, int] = field(default_factory=dict)
+
+    def count(self, path: AccessPath) -> None:
+        self.path_counts[path] = self.path_counts.get(path, 0) + 1
+
+
+class SecureProcessor:
+    """A multi-core secure processor per Table I."""
+
+    def __init__(self, config: SecureProcessorConfig | None = None) -> None:
+        self.config = config or SecureProcessorConfig.sct_default()
+        self.caches = DataCacheSystem(self.config)
+        self.memctrl = MemoryController(self.config.memctrl, self.config.dram)
+        self.mee = MemoryEncryptionEngine(self.config, self.memctrl)
+        self.layout = self.mee.layout
+        self.cycle = 0
+        self.stats = ProcessorStats()
+        # Architectural (software-visible) values of written blocks.
+        self._plain: dict[int, bytes] = {}
+        from repro.utils.rng import derive_rng
+
+        self._timer_rng = derive_rng(self.config.seed, "timer")
+
+    def _observed(self, latency: int) -> int:
+        """Latency as software measures it (with modeled timer noise)."""
+        sigma = self.config.timer_jitter_sigma
+        if sigma <= 0:
+            return latency
+        return max(1, round(latency + self._timer_rng.gauss(0, sigma)))
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    def advance(self, cycles: int) -> None:
+        """Let wall-clock time pass without issuing an access."""
+        if cycles < 0:
+            raise ValueError("cannot advance backwards")
+        self.cycle += cycles
+
+    def quiesce(self) -> int:
+        """Idle until all DRAM banks are free; returns cycles waited.
+
+        Attackers do this before a timed read so the measurement reflects
+        only the access path under test, not leftover bank occupancy from
+        their own earlier traffic.  (It deliberately does not drain the
+        write queue — that would perturb counter state.)
+        """
+        waited = max(0, self.memctrl.dram.max_busy_until() - self.cycle)
+        self.cycle += waited
+        return waited
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, *, core: int = 0) -> AccessResult:
+        """Load the block containing ``addr``."""
+        self._check_data_addr(addr)
+        self.stats.reads += 1
+        block = block_address(addr)
+        hier = self.caches.access(core, block, is_write=False)
+        if hier.hit_level is not None:
+            path = (AccessPath.L1_HIT, AccessPath.L2_HIT, AccessPath.L3_HIT)[
+                hier.hit_level - 1
+            ]
+            self.stats.count(path)
+            self.cycle += hier.latency
+            return AccessResult(
+                latency=self._observed(hier.latency),
+                path=path,
+                cycle=self.cycle,
+                data=self._plain.get(block, bytes(BLOCK_SIZE)),
+            )
+        self._handle_writebacks(hier.writebacks)
+        outcome = self.mee.read_data(block, self.cycle + hier.latency)
+        for writeback in self.caches.fill(core, block, dirty=False):
+            self._enqueue_data_writeback(writeback)
+        latency = hier.latency + outcome.latency
+        self.cycle += latency
+        path = self._classify(outcome.counter_hit, outcome.tree_levels_missed)
+        self.stats.count(path)
+        return AccessResult(
+            latency=self._observed(latency),
+            path=path,
+            cycle=self.cycle,
+            counter_hit=outcome.counter_hit,
+            tree_levels_missed=outcome.tree_levels_missed,
+            data=outcome.plaintext,
+        )
+
+    def write(
+        self, addr: int, data: bytes | None = None, *, core: int = 0
+    ) -> AccessResult:
+        """Store to the block containing ``addr`` (write-allocate/back)."""
+        self._check_data_addr(addr)
+        self.stats.writes += 1
+        block = block_address(addr)
+        self._plain[block] = self._coerce_data(block, data)
+        hier = self.caches.access(core, block, is_write=True)
+        if hier.hit_level is not None:
+            self.cycle += hier.latency
+            path = (AccessPath.L1_HIT, AccessPath.L2_HIT, AccessPath.L3_HIT)[
+                hier.hit_level - 1
+            ]
+            return AccessResult(latency=hier.latency, path=path, cycle=self.cycle)
+        self._handle_writebacks(hier.writebacks)
+        # Fetch-for-write: the miss path is the same as a read.
+        outcome = self.mee.read_data(block, self.cycle + hier.latency)
+        for writeback in self.caches.fill(core, block, dirty=True):
+            self._enqueue_data_writeback(writeback)
+        latency = hier.latency + outcome.latency
+        self.cycle += latency
+        path = self._classify(outcome.counter_hit, outcome.tree_levels_missed)
+        self.stats.count(path)
+        return AccessResult(
+            latency=latency,
+            path=path,
+            cycle=self.cycle,
+            counter_hit=outcome.counter_hit,
+            tree_levels_missed=outcome.tree_levels_missed,
+        )
+
+    def write_through(
+        self, addr: int, data: bytes | None = None, *, core: int = 0
+    ) -> AccessResult:
+        """Persisted store: bypasses the caches and posts to the MC now."""
+        self._check_data_addr(addr)
+        self.stats.writes += 1
+        block = block_address(addr)
+        self._plain[block] = self._coerce_data(block, data)
+        self.caches.flush(block)  # drop any stale cached copy
+        latency = _STORE_BUFFER_LATENCY + self.mee.write_data(
+            block, self._plain[block], self.cycle
+        )
+        self.cycle += latency
+        return AccessResult(latency=latency, path=AccessPath.L1_HIT, cycle=self.cycle)
+
+    def flush(self, addr: int, *, keep_clean_copy: bool = False) -> int:
+        """clflush: drop the block from every cache; write back if dirty."""
+        self.stats.flushes += 1
+        block = block_address(addr)
+        was_dirty, writebacks = self.caches.flush(block)
+        del keep_clean_copy  # reserved for a clwb variant; clflush drops
+        if was_dirty:
+            for writeback in writebacks:
+                self._enqueue_data_writeback(writeback)
+        self.cycle += _FLUSH_LATENCY
+        return _FLUSH_LATENCY
+
+    def drain_writes(self) -> None:
+        """Fence: force the MC write queue to service everything queued."""
+        self.memctrl.drain(self.cycle)
+        self.cycle += _STORE_BUFFER_LATENCY
+
+    def timed_read(self, addr: int, *, core: int = 0) -> int:
+        """Read and return only the measured latency (rdtscp-style)."""
+        return self.read(addr, core=core).latency
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _check_data_addr(self, addr: int) -> None:
+        if not self.layout.is_protected_data(addr):
+            raise ValueError(
+                f"address {addr:#x} outside protected data region "
+                f"(size {self.layout.data_size:#x})"
+            )
+
+    def _coerce_data(self, block: int, data: bytes | None) -> bytes:
+        if data is None:
+            return self._plain.get(block, bytes(BLOCK_SIZE))
+        if len(data) > BLOCK_SIZE:
+            raise ValueError("data exceeds one block")
+        return bytes(data) + bytes(BLOCK_SIZE - len(data))
+
+    def _handle_writebacks(self, writebacks: list[int]) -> None:
+        for writeback in writebacks:
+            self._enqueue_data_writeback(writeback)
+
+    def _enqueue_data_writeback(self, block: int) -> None:
+        self.mee.write_data(
+            block, self._plain.get(block, bytes(BLOCK_SIZE)), self.cycle
+        )
+
+    @staticmethod
+    def _classify(counter_hit: bool, tree_levels_missed: int) -> AccessPath:
+        if counter_hit:
+            return AccessPath.MEM_COUNTER_HIT
+        if tree_levels_missed == 0:
+            return AccessPath.MEM_TREE_HIT
+        return AccessPath.MEM_TREE_MISS
+
+    # ------------------------------------------------------------------
+    # Introspection used by examples, tests and the analysis layer
+    # ------------------------------------------------------------------
+
+    def architectural_value(self, addr: int) -> bytes:
+        """Software-visible value of a block (for test oracles)."""
+        return self._plain.get(block_address(addr), bytes(BLOCK_SIZE))
+
+    @property
+    def metadata_cache(self):
+        return self.mee.meta_cache
+
+    @property
+    def tree_metadata_cache(self):
+        """The tree-node cache (same object unless split_metadata_caches)."""
+        return self.mee.tree_cache

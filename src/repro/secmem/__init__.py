@@ -1,0 +1,37 @@
+"""Security-metadata machinery: counters, integrity trees, and the MEE.
+
+This package implements the mechanisms of Sections IV–V of the paper:
+encryption-counter schemes with Algorithm-1 overflow handling (VUL-1),
+metadata address layout, the three integrity-tree designs (HT / SCT / SIT)
+with Algorithm-2 verification, the shared metadata cache, and the memory
+encryption engine that stitches them onto the memory controller.
+"""
+
+from repro.secmem.counters import CounterEvent, EncryptionCounterStore
+from repro.secmem.engine import (
+    IntegrityViolation,
+    MemoryEncryptionEngine,
+    ReadOutcome,
+)
+from repro.secmem.layout import MetadataLayout
+from repro.secmem.tree import (
+    CounterTree,
+    HashTree,
+    IntegrityTree,
+    TreeUpdate,
+    build_tree,
+)
+
+__all__ = [
+    "CounterEvent",
+    "EncryptionCounterStore",
+    "IntegrityViolation",
+    "MemoryEncryptionEngine",
+    "ReadOutcome",
+    "MetadataLayout",
+    "CounterTree",
+    "HashTree",
+    "IntegrityTree",
+    "TreeUpdate",
+    "build_tree",
+]

@@ -1,0 +1,14 @@
+"""SGX machine model: EPC, enclaves, and SGX-Step style execution control.
+
+Models the commercially-relevant configuration of Section VIII-B: the MEE
+maintains an 8-ary 4-level counter tree (SIT) with 56-bit monolithic
+counters over the Enclave Page Cache, the OS is attacker-controlled (frame
+placement, interrupt-driven single stepping), and the latency profile is
+the slower one of Figure 7.
+"""
+
+from repro.sgx.enclave import Enclave
+from repro.sgx.machine import SgxMachine
+from repro.sgx.sgx_step import SgxStep
+
+__all__ = ["Enclave", "SgxMachine", "SgxStep"]

@@ -1,0 +1,71 @@
+"""SGX-Step style single stepping of enclave execution ([25]).
+
+Victim programs are written as generators that ``yield`` at each
+architectural step of interest (e.g., one loop iteration of a crypto
+routine).  The controller models the attacker's APIC timer: after every
+``interval`` victim steps it fires an "interrupt" and runs the attacker's
+probe callback.  This provides the attack synchronisation that Sections
+VI-B and VIII assume ("we interrupt enclave execution every 500 cycles to
+ensure mEvict+mReload is performed at each required victim iteration").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, TypeVar
+
+StepPayload = TypeVar("StepPayload")
+
+Probe = Callable[[int, object], None]
+"""(step_number, payload_yielded_by_victim) -> None"""
+
+
+@dataclass
+class StepTrace:
+    """Record of one stepped execution."""
+
+    steps: int = 0
+    interrupts: int = 0
+    payloads: list[object] = field(default_factory=list)
+
+
+class SgxStep:
+    """Drives a victim generator with attacker interrupts between steps."""
+
+    def __init__(self, *, interval: int = 1) -> None:
+        if interval < 1:
+            raise ValueError("interrupt interval must be >= 1")
+        self.interval = interval
+        self.trace = StepTrace()
+
+    def run(
+        self,
+        victim: Generator[StepPayload, None, object] | Iterable[StepPayload],
+        probe: Probe | None = None,
+        *,
+        before_step: Probe | None = None,
+    ) -> object:
+        """Execute the victim to completion under stepping control.
+
+        ``before_step`` fires ahead of each stepped region (the attacker's
+        mEvict setup); ``probe`` fires at the interrupt after it (the
+        attacker's mReload measurement).  Returns the victim's return value
+        when it is a generator, else None.
+        """
+        iterator = iter(victim)
+        result = None
+        while True:
+            if before_step is not None and self.trace.steps % self.interval == 0:
+                before_step(self.trace.steps, None)
+            try:
+                payload = next(iterator)
+            except StopIteration as stop:
+                result = getattr(stop, "value", None)
+                break
+            self.trace.steps += 1
+            self.trace.payloads.append(payload)
+            if self.trace.steps % self.interval == 0:
+                self.trace.interrupts += 1
+                if probe is not None:
+                    probe(self.trace.steps, payload)
+        return result

@@ -1,0 +1,160 @@
+"""Statistics helpers for latency traces and attack-accuracy reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-style summary of a latency sample."""
+
+    count: int
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} min={self.minimum:.0f} p25={self.p25:.0f} "
+            f"med={self.median:.0f} p75={self.p75:.0f} max={self.maximum:.0f} "
+            f"mean={self.mean:.1f}"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile over an already-sorted sample."""
+    if not sorted_values:
+        raise ValueError("cannot take percentile of an empty sample")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = fraction * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = position - low
+    return float(sorted_values[low] * (1 - weight) + sorted_values[high] * weight)
+
+
+def summarize(values: Iterable[float]) -> DistributionSummary:
+    """Summarize a sample of latencies (or any scalar observations)."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    return DistributionSummary(
+        count=len(data),
+        minimum=data[0],
+        p25=_percentile(data, 0.25),
+        median=_percentile(data, 0.50),
+        p75=_percentile(data, 0.75),
+        maximum=data[-1],
+        mean=sum(data) / len(data),
+    )
+
+
+def accuracy(predicted: Sequence[object], actual: Sequence[object]) -> float:
+    """Fraction of positions where ``predicted`` matches ``actual``.
+
+    The sequences are compared positionally over the shorter length;
+    missing trailing predictions count as errors, matching how the paper
+    scores truncated covert-channel receptions.
+    """
+    if not actual:
+        raise ValueError("actual sequence must be non-empty")
+    matched = sum(1 for p, a in zip(predicted, actual) if p == a)
+    return matched / len(actual)
+
+
+def bit_error_rate(predicted: Sequence[int], actual: Sequence[int]) -> float:
+    """1 - accuracy, for bit sequences."""
+    return 1.0 - accuracy(predicted, actual)
+
+
+def edit_distance(a: Sequence[object], b: Sequence[object]) -> int:
+    """Levenshtein distance (insert/delete/substitute each cost 1)."""
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (item_a != item_b),
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def aligned_accuracy(predicted: Sequence[object], actual: Sequence[object]) -> float:
+    """Alignment-tolerant accuracy: 1 - edit_distance / len(actual).
+
+    The right score for recovered secret streams (exponent bits, operation
+    sequences) where one misclassification inserts or deletes a symbol: a
+    single local error should cost one symbol, not desynchronise the whole
+    positional comparison.
+    """
+    if not actual:
+        raise ValueError("actual sequence must be non-empty")
+    distance = edit_distance(predicted, actual)
+    return max(0.0, 1.0 - distance / len(actual))
+
+
+def hamming_accuracy(predicted: int, actual: int, bits: int) -> float:
+    """Bitwise accuracy between two ``bits``-wide integers."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    differing = bin((predicted ^ actual) & ((1 << bits) - 1)).count("1")
+    return 1.0 - differing / bits
+
+
+def otsu_threshold(values: Sequence[float], bins: int = 128) -> float:
+    """Find a threshold separating a bimodal latency sample.
+
+    Classic Otsu's method over a histogram: choose the cut that maximizes
+    between-class variance.  Used by the attack calibration step to split
+    "metadata hit" from "metadata miss" latency bands without manual tuning.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot threshold an empty sample")
+    low, high = data[0], data[-1]
+    if low == high:
+        return low
+    width = (high - low) / bins
+    histogram = [0] * bins
+    for value in data:
+        index = min(int((value - low) / width), bins - 1)
+        histogram[index] += 1
+
+    total = len(data)
+    total_weighted = sum(i * count for i, count in enumerate(histogram))
+    best_threshold = low
+    best_variance = -1.0
+    background_count = 0
+    background_weighted = 0.0
+    for i, count in enumerate(histogram):
+        background_count += count
+        if background_count == 0:
+            continue
+        foreground_count = total - background_count
+        if foreground_count == 0:
+            break
+        background_weighted += i * count
+        mean_background = background_weighted / background_count
+        mean_foreground = (total_weighted - background_weighted) / foreground_count
+        variance = (
+            background_count
+            * foreground_count
+            * (mean_background - mean_foreground) ** 2
+        )
+        if variance > best_variance:
+            best_variance = variance
+            best_threshold = low + (i + 1) * width
+    return best_threshold

@@ -1,0 +1,36 @@
+"""A pure-Python JPEG-style encoder (the libjpeg victim of Section VIII-A).
+
+The pipeline follows baseline JPEG for a grayscale image: 8x8 blocking,
+level shift, 2-D DCT, quantisation, zigzag scan and run-length/category
+coding of the AC coefficients.  ``encode_one_block`` reproduces Listing 1's
+structure exactly: a ``k = 1..63`` loop that increments ``r`` for zero
+coefficients and computes ``nbits`` for non-zero ones.
+"""
+
+from repro.victims.jpeg.dct import dct2, idct2
+from repro.victims.jpeg.encoder import EncodedImage, JpegEncoder, JpegVictim
+from repro.victims.jpeg.images import sample_image, sample_image_names
+from repro.victims.jpeg.quant import quant_table, quantize, dequantize
+from repro.victims.jpeg.reconstruct import (
+    mask_accuracy,
+    reconstruct_from_mask,
+)
+from repro.victims.jpeg.zigzag import ZIGZAG_ORDER, zigzag, inverse_zigzag
+
+__all__ = [
+    "dct2",
+    "idct2",
+    "EncodedImage",
+    "JpegEncoder",
+    "JpegVictim",
+    "sample_image",
+    "sample_image_names",
+    "quant_table",
+    "quantize",
+    "dequantize",
+    "mask_accuracy",
+    "reconstruct_from_mask",
+    "ZIGZAG_ORDER",
+    "zigzag",
+    "inverse_zigzag",
+]

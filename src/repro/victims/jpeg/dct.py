@@ -1,0 +1,35 @@
+"""8x8 type-II discrete cosine transform (the JPEG transform)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLOCK = 8
+
+
+def _dct_matrix() -> np.ndarray:
+    """The orthonormal 8x8 DCT-II matrix."""
+    matrix = np.zeros((BLOCK, BLOCK))
+    for j in range(BLOCK):
+        scale = np.sqrt(1 / BLOCK) if j == 0 else np.sqrt(2 / BLOCK)
+        for k in range(BLOCK):
+            matrix[j, k] = scale * np.cos((2 * k + 1) * j * np.pi / (2 * BLOCK))
+    return matrix
+
+
+_DCT = _dct_matrix()
+_IDCT = _DCT.T
+
+
+def dct2(block: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT of one 8x8 block."""
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected 8x8 block, got {block.shape}")
+    return _DCT @ block @ _DCT.T
+
+
+def idct2(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT of one 8x8 coefficient block."""
+    if coefficients.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected 8x8 block, got {coefficients.shape}")
+    return _IDCT @ coefficients @ _IDCT.T

@@ -1,0 +1,175 @@
+"""The libjpeg-style encoder and its machine-instrumented victim.
+
+:class:`JpegEncoder` is the pure compression pipeline.  :class:`JpegVictim`
+executes the Listing-1 gadget on a simulated secure processor: for every
+``k = 1..63`` of every block it touches the ``r`` page (zero coefficient —
+the run-length counter is updated) or the ``nbits`` page (non-zero — the
+bit category is computed), yielding control to the stepping framework
+after each iteration so an attacker can probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Iterator
+
+import numpy as np
+
+from repro.os.process import Process
+from repro.victims.jpeg.dct import dct2
+from repro.victims.jpeg.huffman import (
+    AcSymbol,
+    HuffmanTable,
+    bit_category,
+    encode_bitstream,
+    run_length_encode,
+)
+from repro.victims.jpeg.quant import quant_table, quantize
+from repro.victims.jpeg.zigzag import zigzag
+
+
+@dataclass
+class EncodedImage:
+    """Complete output of the encoder (enough to decode)."""
+
+    shape: tuple[int, int]
+    quality: int
+    dc: list[int]
+    ac_blocks: list[list[int]] = field(repr=False)
+    symbols: list[list[AcSymbol]] = field(repr=False)
+    bitstream: str = field(repr=False, default="")
+    table: HuffmanTable | None = field(repr=False, default=None)
+
+    @property
+    def compressed_bits(self) -> int:
+        return len(self.bitstream)
+
+    def zero_masks(self) -> list[list[bool]]:
+        """Ground truth: True where the AC coefficient is zero."""
+        return [[c == 0 for c in block] for block in self.ac_blocks]
+
+
+def image_blocks(image: np.ndarray) -> Iterator[np.ndarray]:
+    """Yield the image's 8x8 blocks in raster order."""
+    height, width = image.shape
+    if height % 8 or width % 8:
+        raise ValueError("image dimensions must be multiples of 8")
+    for by in range(0, height, 8):
+        for bx in range(0, width, 8):
+            yield image[by : by + 8, bx : bx + 8]
+
+
+class JpegEncoder:
+    """Baseline JPEG-style compression of a grayscale image."""
+
+    def __init__(self, quality: int = 50) -> None:
+        self.quality = quality
+        self.table = quant_table(quality)
+
+    def quantized_blocks(self, image: np.ndarray) -> list[np.ndarray]:
+        """Level-shift, transform and quantise every 8x8 block."""
+        return [
+            quantize(dct2(block - 128.0), self.table)
+            for block in image_blocks(np.asarray(image, dtype=np.float64))
+        ]
+
+    def encode(self, image: np.ndarray) -> EncodedImage:
+        quantized = self.quantized_blocks(image)
+        dc: list[int] = []
+        ac_blocks: list[list[int]] = []
+        symbols: list[list[AcSymbol]] = []
+        for block in quantized:
+            sequence = zigzag(block)
+            dc.append(int(sequence[0]))
+            ac = [int(v) for v in sequence[1:]]
+            ac_blocks.append(ac)
+            symbols.append(run_length_encode(ac))
+        bitstream, table = encode_bitstream(symbols)
+        return EncodedImage(
+            shape=image.shape,
+            quality=self.quality,
+            dc=dc,
+            ac_blocks=ac_blocks,
+            symbols=symbols,
+            bitstream=bitstream,
+            table=table,
+        )
+
+
+@dataclass(frozen=True)
+class JpegStep:
+    """One leaked-loop iteration (the generator payload)."""
+
+    block: int
+    k: int
+    is_zero: bool
+
+
+class JpegVictim:
+    """Runs ``encode_one_block`` on the secure processor (Listing 1)."""
+
+    def __init__(self, process: Process, quality: int = 50) -> None:
+        self.process = process
+        self.encoder = JpegEncoder(quality)
+        # `r` and `nbits` live on two separate pages "by default" (VIII-A1).
+        self.r_vaddr = process.alloc(1)
+        self.nbits_vaddr = process.alloc(1)
+        self.encoded: EncodedImage | None = None
+
+    @property
+    def r_frame(self) -> int:
+        return self.process.paddr(self.r_vaddr) // 4096
+
+    @property
+    def nbits_frame(self) -> int:
+        return self.process.paddr(self.nbits_vaddr) // 4096
+
+    def encode_one_block(
+        self, ac: list[int]
+    ) -> Generator[JpegStep, None, list[AcSymbol]]:
+        """The Listing-1 loop with its secret-dependent page touches."""
+        r = 0
+        for k, coefficient in enumerate(ac, start=1):
+            if coefficient == 0:
+                r += 1
+                self.process.write(self.r_vaddr, r.to_bytes(4, "little"))
+            else:
+                self.process.read(self.nbits_vaddr)
+                nbits = bit_category(coefficient)
+                self.process.write(self.nbits_vaddr, nbits.to_bytes(4, "little"))
+                r = 0
+            yield JpegStep(block=-1, k=k, is_zero=coefficient == 0)
+        return run_length_encode(ac)
+
+    def encode_image(
+        self, image: np.ndarray
+    ) -> Generator[JpegStep, None, EncodedImage]:
+        """Encode a full image, yielding after every coefficient step."""
+        quantized = self.encoder.quantized_blocks(image)
+        dc: list[int] = []
+        ac_blocks: list[list[int]] = []
+        symbols: list[list[AcSymbol]] = []
+        for block_index, block in enumerate(quantized):
+            sequence = zigzag(block)
+            dc.append(int(sequence[0]))
+            ac = [int(v) for v in sequence[1:]]
+            ac_blocks.append(ac)
+            step_gen = self.encode_one_block(ac)
+            while True:
+                try:
+                    step = next(step_gen)
+                except StopIteration as stop:
+                    symbols.append(stop.value)
+                    break
+                yield JpegStep(block=block_index, k=step.k, is_zero=step.is_zero)
+        bitstream, table = encode_bitstream(symbols)
+        self.encoded = EncodedImage(
+            shape=image.shape,
+            quality=self.encoder.quality,
+            dc=dc,
+            ac_blocks=ac_blocks,
+            symbols=symbols,
+            bitstream=bitstream,
+            table=table,
+        )
+        return self.encoded

@@ -1,0 +1,83 @@
+"""Synthetic grayscale test images (stand-ins for the paper's inputs).
+
+The paper reconstructs photographs; no image assets ship offline, so these
+generators produce inputs with the property the attack actually exploits —
+spatially varying detail (sharp gradients yield non-zero AC coefficients,
+flat regions yield zero runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+def _checkerboard(size: int) -> np.ndarray:
+    tile = size // 8
+    ys, xs = np.indices((size, size))
+    return np.where(((ys // tile) + (xs // tile)) % 2 == 0, 220.0, 40.0)
+
+
+def _gradient(size: int) -> np.ndarray:
+    ys, xs = np.indices((size, size))
+    return (xs + ys) * (255.0 / (2 * size - 2))
+
+
+def _circles(size: int) -> np.ndarray:
+    ys, xs = np.indices((size, size))
+    center = size / 2
+    radius = np.hypot(ys - center, xs - center)
+    return 128.0 + 100.0 * np.cos(radius / 3.5)
+
+
+def _stripes(size: int) -> np.ndarray:
+    ys, xs = np.indices((size, size))
+    return np.where((xs // 4) % 2 == 0, 200.0, 60.0) + ys * 0.1
+
+
+def _text_like(size: int) -> np.ndarray:
+    """Blocky glyph-like strokes on a light background."""
+    rng = derive_rng(13, "text")
+    image = np.full((size, size), 235.0)
+    for _ in range(size // 2):
+        y = rng.randrange(2, size - 10)
+        x = rng.randrange(2, size - 10)
+        if rng.random() < 0.5:
+            image[y : y + 1, x : x + rng.randrange(3, 9)] = 30.0
+        else:
+            image[y : y + rng.randrange(3, 9), x : x + 1] = 30.0
+    return image
+
+
+def _noise(size: int) -> np.ndarray:
+    rng = derive_rng(13, "noise-image")
+    flat = np.array([rng.gauss(128, 40) for _ in range(size * size)])
+    return np.clip(flat.reshape(size, size), 0, 255)
+
+
+_GENERATORS = {
+    "checkerboard": _checkerboard,
+    "gradient": _gradient,
+    "circles": _circles,
+    "stripes": _stripes,
+    "text": _text_like,
+    "noise": _noise,
+}
+
+
+def sample_image_names() -> list[str]:
+    return sorted(_GENERATORS)
+
+
+def sample_image(name: str, size: int = 64) -> np.ndarray:
+    """A ``size`` x ``size`` float image in [0, 255]."""
+    if size % 8 != 0:
+        raise ValueError("size must be a multiple of 8")
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown image {name!r}; options: {sample_image_names()}"
+        ) from None
+    return generator(size).astype(np.float64)

@@ -1,0 +1,42 @@
+"""JPEG luminance quantisation (Annex K table with quality scaling)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ITU-T T.81 Annex K.1 luminance quantisation table.
+_BASE_TABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def quant_table(quality: int = 50) -> np.ndarray:
+    """The Annex-K table scaled by the usual IJG quality mapping."""
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in 1..100")
+    if quality < 50:
+        scale = 5000 / quality
+    else:
+        scale = 200 - 2 * quality
+    table = np.floor((_BASE_TABLE * scale + 50) / 100)
+    return np.clip(table, 1, 255)
+
+
+def quantize(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantise one DCT coefficient block to integers."""
+    return np.round(coefficients / table).astype(np.int32)
+
+
+def dequantize(quantized: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Recover approximate DCT coefficients."""
+    return quantized.astype(np.float64) * table

@@ -1,0 +1,37 @@
+"""Zigzag scan order (``jpeg_natural_order`` in libjpeg)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _zigzag_order() -> list[tuple[int, int]]:
+    order = []
+    for diagonal in range(15):
+        positions = [
+            (i, diagonal - i)
+            for i in range(8)
+            if 0 <= diagonal - i < 8
+        ]
+        if diagonal % 2 == 0:
+            positions.reverse()
+        order.extend(positions)
+    return order
+
+
+ZIGZAG_ORDER = _zigzag_order()
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Flatten an 8x8 block into the 64-entry zigzag sequence."""
+    return np.array([block[i, j] for i, j in ZIGZAG_ORDER])
+
+
+def inverse_zigzag(sequence: np.ndarray) -> np.ndarray:
+    """Rebuild an 8x8 block from its zigzag sequence."""
+    if len(sequence) != 64:
+        raise ValueError("zigzag sequence must have 64 entries")
+    block = np.zeros((8, 8), dtype=np.asarray(sequence).dtype)
+    for value, (i, j) in zip(sequence, ZIGZAG_ORDER):
+        block[i, j] = value
+    return block

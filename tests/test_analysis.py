@@ -1,0 +1,155 @@
+"""Integration tests for the case-study drivers and figure harness.
+
+These run the real end-to-end experiments at reduced scale; the
+full-scale runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.analysis import (
+    format_result,
+    run_jpeg_metaleak_c,
+    run_jpeg_metaleak_t,
+    run_mbedtls_attack,
+    run_rsa_attack,
+)
+from repro.analysis.figures import (
+    ablation_counter_schemes,
+    ablation_defenses,
+    fig6_access_paths,
+    fig7_sgx_paths,
+    fig8_overflow_bands,
+    fig12_tree_levels,
+)
+from repro.analysis.report import FigureResult
+from repro.utils.stats import aligned_accuracy, edit_distance
+
+
+class TestReport:
+    def test_format_contains_rows(self):
+        result = FigureResult(figure="F", title="t")
+        result.add("a", 1.0, 2.0, "cycles")
+        text = format_result(result)
+        assert "F" in text and "a" in text and "cycles" in text
+
+    def test_row_lookup(self):
+        result = FigureResult(figure="F", title="t")
+        result.add("a", 1.0)
+        assert result.row("a").measured == 1.0
+        with pytest.raises(KeyError):
+            result.row("missing")
+
+
+class TestEditDistance:
+    def test_basics(self):
+        assert edit_distance("abc", "abc") == 0
+        assert edit_distance("abc", "abd") == 1
+        assert edit_distance("abc", "ab") == 1
+        assert edit_distance("", "abc") == 3
+
+    def test_aligned_accuracy(self):
+        assert aligned_accuracy([1, 0, 1], [1, 0, 1]) == 1.0
+        assert aligned_accuracy([1, 1], [1, 0, 1]) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            aligned_accuracy([1], [])
+
+
+class TestJpegCaseStudy:
+    def test_metaleak_t_noiseless_is_perfect(self):
+        # "text" has spatially varying detail, so the activity map is
+        # non-degenerate and correlation is meaningful.
+        outcome = run_jpeg_metaleak_t("text", size=16)
+        assert outcome.stealing_accuracy == 1.0
+        assert outcome.reconstruction_correlation == pytest.approx(1.0)
+        assert outcome.steps == 4 * 63
+
+    def test_metaleak_t_images_differ(self):
+        flat = run_jpeg_metaleak_t("gradient", size=16)
+        busy = run_jpeg_metaleak_t("checkerboard", size=16)
+        # Both recover accurately regardless of image content.
+        assert flat.stealing_accuracy > 0.95
+        assert busy.stealing_accuracy > 0.95
+
+    @pytest.mark.slow
+    def test_metaleak_c_recovers_zeros(self):
+        outcome = run_jpeg_metaleak_c("gradient", size=16)
+        assert outcome.zero_accuracy > 0.9
+
+
+class TestRsaCaseStudy:
+    def test_sct_noiseless_recovers_exponent(self):
+        from repro.config import MIB, SecureProcessorConfig
+
+        config = SecureProcessorConfig.sct_default(
+            protected_size=256 * MIB, functional_crypto=False
+        )
+        outcome = run_rsa_attack("sct", exponent_bits=48, config=config)
+        assert outcome.bit_accuracy == 1.0
+        assert outcome.recovered_bits == outcome.true_bits
+
+    def test_sgx_noiseless_recovers_exponent(self):
+        from repro.config import MIB, SecureProcessorConfig
+
+        config = SecureProcessorConfig.sgx_default(
+            epc_size=64 * MIB, functional_crypto=False
+        )
+        outcome = run_rsa_attack("sgx", exponent_bits=48, config=config)
+        assert outcome.bit_accuracy == 1.0
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError):
+            run_rsa_attack("tpm")
+
+
+class TestMbedtlsCaseStudy:
+    def test_noiseless_detection_perfect(self):
+        from repro.config import MIB, SecureProcessorConfig
+
+        config = SecureProcessorConfig.sgx_default(
+            epc_size=64 * MIB, functional_crypto=False
+        )
+        outcome = run_mbedtls_attack(secret_bits=48, config=config)
+        assert outcome.op_accuracy == 1.0
+        assert outcome.labels == outcome.truth
+
+
+class TestFigureHarness:
+    def test_fig6_band_ordering(self):
+        result = fig6_access_paths(samples=6)
+        ordered = [row.measured for row in result.rows]
+        assert ordered == sorted(ordered)
+
+    def test_fig7_wider_than_fig6(self):
+        sct = fig6_access_paths(samples=6)
+        sgx = fig7_sgx_paths(samples=6)
+        assert (
+            sgx.row("Path-4 (all levels missed)").measured
+            > sct.row("Path-4 (all levels missed)").measured
+        )
+
+    def test_fig8_bands_separate(self):
+        result = fig8_overflow_bands(cycles=1)
+        assert result.row("band separation").measured > 500
+
+    def test_fig12_monotone(self):
+        result = fig12_tree_levels(levels=(0, 1), rounds=5)
+        l0 = result.row("L0 interval").measured
+        l1 = result.row("L1 interval").measured
+        assert l1 >= l0
+        assert result.row("L1 coverage").measured == 16 * result.row(
+            "L0 coverage"
+        ).measured
+
+    def test_ablation_counter_schemes_ordering(self):
+        result = ablation_counter_schemes()
+        sc = result.row("SC re-encrypted blocks").measured
+        gc = result.row("GC re-encrypted blocks").measured
+        moc = result.row("MoC re-encrypted blocks").measured
+        assert sc < gc == moc
+
+    @pytest.mark.slow
+    def test_ablation_defenses_isolated_trees_break_channel(self):
+        result = ablation_defenses(bits=24)
+        assert result.row("baseline (no defense)").measured > 0.9
+        assert result.row("disjoint LLCs (cross-socket)").measured > 0.9
+        assert result.row("per-domain isolated trees").measured < 0.8

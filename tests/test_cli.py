@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _FIGURE_DOC, _QUICK_KWARGS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.preset == "sct"
+
+    def test_figures_args(self):
+        args = build_parser().parse_args(["figures", "fig8", "--quick"])
+        assert args.names == ["fig8"]
+        assert args.quick
+
+
+class TestCommands:
+    def test_list_covers_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        from repro.analysis.figures import ALL_FIGURES
+
+        for name in ALL_FIGURES:
+            assert name in output
+        assert set(_FIGURE_DOC) == set(ALL_FIGURES)
+
+    @pytest.mark.parametrize("preset", ["sct", "ht", "sgx"])
+    def test_info_presets(self, preset, capsys):
+        assert main(["info", "--preset", preset]) == 0
+        output = capsys.readouterr().out
+        assert "integrity tree" in output
+        assert "protected data" in output
+
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_quick_figure_runs(self, capsys, tmp_path):
+        assert main(["figures", "fig8", "--quick", "--out", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 8" in output
+        assert (tmp_path / "fig8.txt").exists()
+
+    def test_quick_kwargs_are_valid_figures(self):
+        from repro.analysis.figures import ALL_FIGURES
+
+        assert set(_QUICK_KWARGS) <= set(ALL_FIGURES)

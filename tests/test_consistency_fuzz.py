@@ -1,0 +1,102 @@
+"""Stateful fuzzing: the secure processor is always a correct memory.
+
+Whatever interleaving of reads, writes, flushes, drains and metadata-cache
+cleanses occurs — across cores, with counters overflowing and trees
+re-hashing underneath — every read must return the last architecturally
+written value.  Hypothesis drives random operation sequences against a
+plain dict reference model.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.config import MIB, SecureProcessorConfig, TreeUpdatePolicy
+from repro.proc import SecureProcessor
+
+_BLOCKS = 24  # distinct blocks under test, spread across pages
+_PAGES = 6
+
+
+def _addr(block_id: int) -> int:
+    page = block_id % _PAGES
+    offset = (block_id // _PAGES) * 64
+    return page * 4096 + offset
+
+
+class SecureMemoryMachine(RuleBasedStateMachine):
+    """Random ops vs a reference dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.proc = None
+        self.reference = {}
+
+    @initialize(
+        policy=st.sampled_from([TreeUpdatePolicy.LAZY, TreeUpdatePolicy.EAGER]),
+        minor_bits=st.sampled_from([3, 7]),
+    )
+    def setup(self, policy, minor_bits):
+        from repro.config import CounterConfig, CounterScheme
+
+        config = SecureProcessorConfig.sct_default(
+            protected_size=16 * MIB,
+            tree_update_policy=policy,
+        ).with_overrides(
+            counters=CounterConfig(scheme=CounterScheme.SPLIT, minor_bits=minor_bits)
+        )
+        self.proc = SecureProcessor(config)
+        self.reference = {}
+
+    blocks = st.integers(min_value=0, max_value=_BLOCKS - 1)
+    cores = st.integers(min_value=0, max_value=3)
+    payloads = st.binary(min_size=1, max_size=16)
+
+    @rule(block=blocks, payload=payloads, core=cores)
+    def cached_write(self, block, payload, core):
+        self.proc.write(_addr(block), payload, core=core)
+        self.reference[block] = payload
+
+    @rule(block=blocks, payload=payloads, core=cores)
+    def persistent_write(self, block, payload, core):
+        self.proc.write_through(_addr(block), payload, core=core)
+        self.reference[block] = payload
+
+    @rule(block=blocks, core=cores)
+    def read_and_check(self, block, core):
+        data = self.proc.read(_addr(block), core=core).data
+        expected = self.reference.get(block, b"")
+        assert data[: len(expected)] == expected
+        assert data[len(expected) :] == bytes(64 - len(expected))
+
+    @rule(block=blocks)
+    def flush(self, block):
+        self.proc.flush(_addr(block))
+
+    @rule()
+    def drain(self):
+        self.proc.drain_writes()
+
+    @rule()
+    def cleanse_metadata(self):
+        self.proc.mee.flush_metadata_cache(self.proc.cycle)
+
+    @rule()
+    def idle(self):
+        self.proc.advance(1000)
+
+    @invariant()
+    def clock_monotone(self):
+        if self.proc is not None:
+            assert self.proc.cycle >= 0
+
+
+TestSecureMemoryConsistency = SecureMemoryMachine.TestCase
+TestSecureMemoryConsistency.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,112 @@
+"""Tests for the functional crypto substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import BLOCK_SIZE
+from repro.crypto import CounterModeEngine, MacEngine, keyed_prf, node_hash
+
+KEY = b"k" * 32
+
+
+class TestPrf:
+    def test_deterministic(self):
+        assert keyed_prf(KEY, "a", 1) == keyed_prf(KEY, "a", 1)
+
+    def test_key_separation(self):
+        assert keyed_prf(b"k1", "a") != keyed_prf(b"k2", "a")
+
+    def test_component_separation(self):
+        # Length-prefixing must prevent concatenation collisions.
+        assert keyed_prf(KEY, b"ab", b"c") != keyed_prf(KEY, b"a", b"bc")
+        assert keyed_prf(KEY, 1, 23) != keyed_prf(KEY, 12, 3)
+
+    def test_out_len(self):
+        assert len(keyed_prf(KEY, "x", out_len=16)) == 16
+        with pytest.raises(ValueError):
+            keyed_prf(KEY, "x", out_len=65)
+
+    def test_node_hash_is_64bit(self):
+        assert 0 <= node_hash(KEY, "n", 1, 2) < (1 << 64)
+
+    @given(st.integers(min_value=0), st.integers(min_value=0))
+    @settings(max_examples=50)
+    def test_distinct_tuples_distinct_hashes(self, a, b):
+        if a != b:
+            assert node_hash(KEY, a) != node_hash(KEY, b)
+
+
+class TestCounterMode:
+    def setup_method(self):
+        self.engine = CounterModeEngine(KEY)
+
+    def test_roundtrip(self):
+        plaintext = bytes(range(64))
+        ciphertext = self.engine.encrypt(plaintext, 0x1000, 5)
+        assert ciphertext != plaintext
+        assert self.engine.decrypt(ciphertext, 0x1000, 5) == plaintext
+
+    def test_counter_uniqueness(self):
+        plaintext = bytes(64)
+        c1 = self.engine.encrypt(plaintext, 0x1000, 1)
+        c2 = self.engine.encrypt(plaintext, 0x1000, 2)
+        assert c1 != c2  # same data, different counter -> different ct
+
+    def test_spatial_uniqueness(self):
+        plaintext = bytes(64)
+        c1 = self.engine.encrypt(plaintext, 0x1000, 1)
+        c2 = self.engine.encrypt(plaintext, 0x2000, 1)
+        assert c1 != c2  # address is part of the seed
+
+    def test_wrong_counter_garbles(self):
+        plaintext = bytes(range(64))
+        ciphertext = self.engine.encrypt(plaintext, 0x1000, 5)
+        assert self.engine.decrypt(ciphertext, 0x1000, 6) != plaintext
+
+    def test_chunk_level_seeds(self):
+        # Two chunks within one block must use different pads.
+        pad = self.engine.one_time_pad(0x1000, 1)
+        assert pad[:16] != pad[16:32]
+
+    def test_block_size_enforced(self):
+        with pytest.raises(ValueError):
+            self.engine.encrypt(b"short", 0x1000, 1)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            CounterModeEngine(b"")
+
+    @given(st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+           st.integers(min_value=0, max_value=2**64),
+           st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, plaintext, counter, block):
+        addr = block * 64
+        ct = self.engine.encrypt(plaintext, addr, counter)
+        assert self.engine.decrypt(ct, addr, counter) == plaintext
+
+
+class TestMac:
+    def setup_method(self):
+        self.mac = MacEngine(KEY)
+
+    def test_verify_accepts_valid(self):
+        tag = self.mac.compute(b"ct", 5, 0x1000)
+        assert self.mac.verify(tag, b"ct", 5, 0x1000)
+
+    def test_detects_data_spoof(self):
+        tag = self.mac.compute(b"ct", 5, 0x1000)
+        assert not self.mac.verify(tag, b"CT", 5, 0x1000)
+
+    def test_detects_splice(self):
+        tag = self.mac.compute(b"ct", 5, 0x1000)
+        assert not self.mac.verify(tag, b"ct", 5, 0x2000)
+
+    def test_detects_replay_via_counter(self):
+        tag_old = self.mac.compute(b"ct", 5, 0x1000)
+        assert not self.mac.verify(tag_old, b"ct", 6, 0x1000)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            MacEngine(b"")

@@ -1,0 +1,181 @@
+"""Tests for DRAM timing, the memory controller, and address helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DramConfig, MemCtrlConfig
+from repro.mem.block import (
+    bank_of,
+    block_address,
+    block_index,
+    block_offset,
+    page_index,
+    page_offset,
+)
+from repro.mem.dram import DramModel
+from repro.mem.memctrl import MemoryController
+
+
+class TestBlockHelpers:
+    def test_block_decomposition(self):
+        assert block_address(0x1234) == 0x1200
+        assert block_index(0x1234) == 0x48
+        assert block_offset(0x1234) == 0x34
+
+    def test_page_decomposition(self):
+        assert page_index(0x12345) == 0x12
+        assert page_offset(0x12345) == 0x345
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_block_roundtrip(self, addr):
+        assert block_address(addr) <= addr < block_address(addr) + 64
+        assert block_address(addr) == block_index(addr) * 64
+
+    def test_bank_range(self):
+        for addr in range(0, 1 << 16, 64):
+            assert 0 <= bank_of(addr, 16) < 16
+
+    def test_consecutive_blocks_stripe_banks(self):
+        banks = {bank_of(i * 64, 16) for i in range(16)}
+        assert len(banks) == 16
+
+    def test_page_aligned_structures_do_not_alias(self):
+        # Regions at different page-aligned bases should not all map to the
+        # same bank (the XOR fold must break simple modulo aliasing).
+        banks = {bank_of(base << 20, 16) for base in range(1, 64)}
+        assert len(banks) > 4
+
+
+class TestDram:
+    def test_row_hit_faster_than_miss(self):
+        dram = DramModel(DramConfig())
+        first = dram.access(0x0, 0)
+        # Same bank (block 0 and block 16 both fold to bank 0), same row.
+        assert dram.bank_of(0x0) == dram.bank_of(0x400)
+        second = dram.access(0x400, first)
+        assert second < first  # row now open
+
+    def test_row_conflict_reopens(self):
+        config = DramConfig()
+        dram = DramModel(config)
+        dram.access(0x0, 0)
+        far = config.row_size * config.banks  # same bank, different row
+        latency = dram.access(far, 1000)
+        assert latency == config.row_miss_latency + config.bus_latency
+
+    def test_busy_bank_delays_access(self):
+        dram = DramModel(DramConfig())
+        dram.occupy_bank(0x1000, 0, 5000)
+        latency = dram.access(0x1000, 100)
+        assert latency > 4000
+
+    def test_occupy_all_blocks_every_bank(self):
+        config = DramConfig(banks=4)
+        dram = DramModel(config)
+        dram.occupy_all(0, 9999)
+        for block in range(4):
+            assert dram.access(block * 64, 0) > 9000
+
+    def test_idle_bank_not_delayed(self):
+        dram = DramModel(DramConfig())
+        dram.occupy_bank(0x0, 0, 5000)
+        other = next(
+            a for a in range(64, 1 << 16, 64) if dram.bank_of(a) != dram.bank_of(0)
+        )
+        assert dram.access(other, 0) < 1000
+
+    def test_stats(self):
+        dram = DramModel(DramConfig())
+        dram.access(0, 0)
+        dram.access(64, 0, is_write=True)
+        assert dram.reads == 1
+        assert dram.writes == 1
+
+
+class TestMemoryController:
+    def make(self, **kwargs):
+        return MemoryController(MemCtrlConfig(**kwargs), DramConfig())
+
+    def test_read_latency_positive(self):
+        mc = self.make()
+        assert mc.read_block(0x1000, 0) > 0
+        assert mc.reads_serviced == 1
+
+    def test_write_is_posted(self):
+        mc = self.make()
+        latency = mc.enqueue_write(0x1000, 0)
+        assert latency < 10
+        assert mc.pending_writes() == 1
+        assert mc.writes_serviced == 0
+
+    def test_write_merging(self):
+        mc = self.make()
+        mc.enqueue_write(0x1000, 0)
+        mc.enqueue_write(0x1000, 10)
+        assert mc.pending_writes() == 1
+        assert mc.writes_merged == 1
+
+    def test_no_merge_mode_forces_drain(self):
+        mc = self.make(write_merge=False)
+        mc.enqueue_write(0x1000, 0)
+        mc.enqueue_write(0x1000, 10)
+        assert mc.writes_serviced == 1
+
+    def test_read_forwarding_from_write_queue(self):
+        mc = self.make()
+        mc.enqueue_write(0x1000, 0)
+        latency = mc.read_block(0x1000, 10)
+        assert latency < 30  # forwarded, no DRAM access
+        assert mc.reads_serviced == 0
+
+    def test_drain_services_all(self):
+        mc = self.make()
+        for i in range(10):
+            mc.enqueue_write(i * 64, 0)
+        end = mc.drain(100)
+        assert mc.pending_writes() == 0
+        assert mc.writes_serviced == 10
+        assert end > 100
+
+    def test_drain_empty_is_noop(self):
+        mc = self.make()
+        assert mc.drain(100) == 100
+        assert mc.drains == 0
+
+    def test_watermark_triggers_drain(self):
+        mc = self.make(write_queue_entries=8, drain_watermark=0.5)
+        for i in range(6):
+            mc.enqueue_write(i * 64, 0)
+        assert mc.drains >= 1
+
+    def test_write_sink_invoked_per_serviced_write(self):
+        mc = self.make()
+        serviced = []
+        mc.set_write_sink(lambda addr, now: serviced.append(addr) or 7)
+        mc.enqueue_write(0x40, 0)
+        mc.enqueue_write(0x80, 0)
+        mc.drain(0)
+        assert serviced == [0x40, 0x80]
+
+    def test_drain_occupies_banks(self):
+        mc = self.make()
+        for i in range(16):
+            mc.enqueue_write(i * 64, 0)
+        mc.drain(0)
+        # A read right after the drain burst starts must wait.
+        assert mc.read_block(0x0, 1) > 100
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_queue_never_exceeds_capacity(self, blocks):
+        mc = self.make(write_queue_entries=16, drain_watermark=0.75)
+        for block in blocks:
+            mc.enqueue_write(block * 64, 0)
+            assert mc.pending_writes() <= 16
+
+    def test_write_pending_for(self):
+        mc = self.make()
+        mc.enqueue_write(0x1000, 0)
+        assert mc.write_pending_for(0x1020)
+        assert not mc.write_pending_for(0x2000)

@@ -1,0 +1,124 @@
+"""Tests for the replacement policies and policy-parameterised caches."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.mem.cache import SetAssocCache
+from repro.mem.replacement import (
+    LruPolicy,
+    RandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+
+
+class TestLruPolicy:
+    def test_victim_is_least_recent(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        policy.on_access(0)
+        assert policy.victim([True] * 4) == 1
+
+    def test_skips_unoccupied(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        assert policy.victim([False, True, True, True]) == 1
+
+
+class TestTreePlru:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            TreePlruPolicy(6)
+
+    def test_victim_avoids_recent(self):
+        policy = TreePlruPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+        policy.on_access(3)
+        assert policy.victim([True] * 4) != 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_victim_never_most_recent(self, accesses):
+        policy = TreePlruPolicy(8)
+        for way in range(8):
+            policy.on_fill(way)
+        for way in accesses:
+            policy.on_access(way)
+        assert policy.victim([True] * 8) != accesses[-1]
+
+    def test_victim_in_range(self):
+        policy = TreePlruPolicy(8)
+        for way in range(8):
+            policy.on_fill(way)
+        assert 0 <= policy.victim([True] * 8) < 8
+
+
+class TestRandomPolicy:
+    def test_deterministic_under_seed(self):
+        a = make_policy("random", 8, seed=3)
+        b = make_policy("random", 8, seed=3)
+        occupied = [True] * 8
+        assert [a.victim(occupied) for _ in range(10)] == [
+            b.victim(occupied) for _ in range(10)
+        ]
+
+    def test_spread(self):
+        policy = RandomPolicy(8)
+        victims = {policy.victim([True] * 8) for _ in range(200)}
+        assert len(victims) == 8
+
+
+class TestPolicyFactory:
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("fifo", 4)
+
+    def test_all_names(self):
+        for name in ("lru", "plru", "random"):
+            assert make_policy(name, 4) is not None
+
+
+class TestPolicyCaches:
+    def _cache(self, replacement):
+        return SetAssocCache(
+            CacheConfig("t", 4 * 64, 4, 1, replacement=replacement), seed=1
+        )
+
+    @pytest.mark.parametrize("replacement", ["lru", "plru", "random"])
+    def test_basic_semantics_hold(self, replacement):
+        cache = self._cache(replacement)
+        cache.insert(0, dirty=True)
+        assert cache.lookup(0)
+        assert cache.is_dirty(0)
+        present, dirty = cache.invalidate(0)
+        assert present and dirty
+        assert not cache.contains(0)
+
+    @pytest.mark.parametrize("replacement", ["lru", "plru", "random"])
+    def test_capacity_respected(self, replacement):
+        cache = self._cache(replacement)
+        for i in range(40):
+            cache.insert(i * 64 * 1)  # single set (1 set cache)
+        assert cache.occupancy() <= 4
+
+    def test_plru_keeps_hot_line(self):
+        cache = self._cache("plru")
+        cache.insert(0)
+        for i in range(1, 40):
+            cache.lookup(0)  # keep line 0 hot
+            cache.insert(i * 64)
+        assert cache.contains(0)
+
+    def test_random_eventually_evicts_hot_line(self):
+        cache = self._cache("random")
+        cache.insert(0)
+        for i in range(1, 100):
+            cache.lookup(0)
+            cache.insert(i * 64)
+        # With uniform random victims, even a hot line dies eventually.
+        assert not cache.contains(0)

@@ -1,0 +1,34 @@
+"""Quick-scale tests for the design-space sweeps."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    sweep_metadata_cache_size,
+    sweep_minor_counter_bits,
+    sweep_noise_intensity,
+    sweep_replacement_policy,
+)
+
+
+class TestSweeps:
+    def test_cache_size_sweep(self):
+        result = sweep_metadata_cache_size((128, 256), bits=12)
+        assert result.row("128 KiB accuracy").measured >= 0.8
+        assert result.row("256 KiB accuracy").measured >= 0.8
+        # mEvict cost must be recorded and positive.
+        assert result.row("128 KiB evict accesses/round").measured > 0
+
+    def test_replacement_policy_sweep(self):
+        result = sweep_replacement_policy(bits=12)
+        assert result.row("lru accuracy").measured >= 0.9
+
+    def test_minor_counter_width_sweep(self):
+        result = sweep_minor_counter_bits((4, 5))
+        assert result.row("4-bit wrap bumps").measured == 15
+        assert result.row("5-bit wrap bumps").measured == 31
+
+    def test_noise_sweep_monotone(self):
+        result = sweep_noise_intensity((0, 8), bits=16)
+        quiet = result.row("0 noise reads/step").measured
+        noisy = result.row("8 noise reads/step").measured
+        assert quiet >= noisy

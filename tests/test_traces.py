@@ -1,0 +1,101 @@
+"""Tests for the latency-trace analysis utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.traces import (
+    Band,
+    classify_by_threshold,
+    describe_trace,
+    detect_bands,
+    majority_window_decode,
+    run_lengths,
+    sparkline,
+)
+
+
+class TestBands:
+    def test_single_band(self):
+        bands = detect_bands([100, 105, 110])
+        assert len(bands) == 1
+        assert bands[0].count == 3
+
+    def test_two_bands(self):
+        bands = detect_bands([100, 102, 500, 505, 501])
+        assert len(bands) == 2
+        assert bands[0].count == 2
+        assert bands[1].count == 3
+        assert 100 in bands[0]
+        assert 500 in bands[1]
+
+    def test_band_center(self):
+        band = Band(low=100, high=200, count=5)
+        assert band.center == 150
+
+    def test_gap_parameter(self):
+        values = [100, 150, 200]
+        assert len(detect_bands(values, gap=40)) == 3
+        assert len(detect_bands(values, gap=60)) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            detect_bands([])
+
+    @given(st.lists(st.floats(min_value=0, max_value=10000), min_size=1, max_size=100))
+    @settings(max_examples=40)
+    def test_counts_partition_sample(self, values):
+        bands = detect_bands(values)
+        assert sum(band.count for band in bands) == len(values)
+        for left, right in zip(bands, bands[1:]):
+            assert left.high < right.low
+
+
+class TestClassification:
+    def test_explicit_threshold(self):
+        bits, threshold = classify_by_threshold([100, 500, 100], threshold=300)
+        assert bits == [1, 0, 1]
+        assert threshold == 300
+
+    def test_auto_threshold(self):
+        trace = [100] * 10 + [500] * 10
+        bits, threshold = classify_by_threshold(trace)
+        assert 100 < threshold < 500
+        assert sum(bits) == 10
+
+    def test_run_lengths(self):
+        assert run_lengths([1, 1, 0, 0, 0, 1]) == [(1, 2), (0, 3), (1, 1)]
+        assert run_lengths([]) == []
+
+    def test_majority_window(self):
+        bits = [1, 1, 0, 0, 0, 0, 1, 0, 1]
+        assert majority_window_decode(bits, 3) == [1, 0, 1]
+
+    def test_majority_window_validates(self):
+        with pytest.raises(ValueError):
+            majority_window_decode([1], 0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=64))
+    @settings(max_examples=40)
+    def test_window_decode_length(self, bits):
+        decoded = majority_window_decode(bits, 2)
+        assert len(decoded) == len(bits) // 2
+
+
+class TestSparkline:
+    def test_renders_levels(self):
+        line = sparkline([0, 100])
+        assert line[0] != line[1]
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_downsampling(self):
+        assert len(sparkline(list(range(1000)), width=32)) == 32
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_describe(self):
+        text = describe_trace([100, 200, 300])
+        assert "med=" in text

@@ -1,0 +1,83 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import pytest
+
+from repro.analysis.report import FigureResult
+from repro.analysis.visualize import (
+    bar_chart,
+    figure_bar_chart,
+    grouped_histogram,
+    histogram,
+    to_csv,
+)
+
+
+class TestHistogram:
+    def test_bins_cover_sample(self):
+        text = histogram([1, 2, 3, 100], bins=4, label="test")
+        assert "test" in text
+        assert text.count("\n") == 4  # header + 4 bins
+
+    def test_counts_sum(self):
+        text = histogram(list(range(100)), bins=10)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()[1:]]
+        assert sum(counts) == 100
+
+    def test_degenerate(self):
+        assert "all 3 samples" in histogram([5, 5, 5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+
+class TestGroupedHistogram:
+    def test_band_separation_visible(self):
+        text = grouped_histogram(
+            {"fast": [100, 110], "slow": [500, 510]}, width=20
+        )
+        lines = text.splitlines()
+        assert len(lines) == 3
+        fast_pos = lines[1].index("█")
+        slow_pos = lines[2].index("█")
+        assert fast_pos < slow_pos
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_histogram({})
+
+
+class TestBarChart:
+    def test_scaling(self):
+        text = bar_chart([("a", 1.0), ("b", 0.5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_values(self):
+        text = bar_chart([("a", 0.0)])
+        assert "a" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+
+class TestFigureExport:
+    def _result(self):
+        result = FigureResult(figure="Fig X", title="demo")
+        result.add("row1", 0.5, 0.6, "acc")
+        result.add("row2", "n/a", None)
+        return result
+
+    def test_figure_bar_chart_filters_numeric(self):
+        text = figure_bar_chart(self._result())
+        assert "row1" in text
+        assert "row2" not in text
+
+    def test_csv_roundtrip(self):
+        csv_text = to_csv(self._result())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "series,measured,paper,unit"
+        assert len(lines) == 3
+        assert '"row1",0.5,"0.6","acc"' in csv_text
