@@ -28,6 +28,7 @@ from repro.config import (
     CounterScheme,
     SecureProcessorConfig,
     TreeUpdatePolicy,
+    preset_config,
 )
 from repro.defenses.isolation import isolated_tree_config
 from repro.defenses.mirage_study import mirage_eviction_curve
@@ -47,26 +48,15 @@ def _machine(
     preset: str = "sct", *, jitter: float = 0.0, **overrides: object
 ) -> tuple[SecureProcessor, PageAllocator]:
     size = overrides.pop("protected_size", _DEFAULT_SIZE)
-    if preset == "sct":
-        config = SecureProcessorConfig.sct_default(
-            protected_size=size,
-            functional_crypto=False,
-            timer_jitter_sigma=jitter,
-            **overrides,
-        )
-    elif preset == "ht":
-        config = SecureProcessorConfig.ht_default(
-            protected_size=size,
-            functional_crypto=False,
-            timer_jitter_sigma=jitter,
-            **overrides,
-        )
-    elif preset == "sgx":
-        config = SecureProcessorConfig.sgx_default(
-            functional_crypto=False, timer_jitter_sigma=jitter, **overrides
-        )
-    else:
-        raise ValueError(f"unknown preset {preset!r}")
+    if preset != "sgx":
+        # The SGX preset derives its protected size from the EPC model.
+        overrides["protected_size"] = size
+    config = preset_config(
+        preset,
+        functional_crypto=False,
+        timer_jitter_sigma=jitter,
+        **overrides,
+    )
     proc = SecureProcessor(config)
     allocator = PageAllocator(
         proc.layout.data_size // PAGE_SIZE, cores=proc.config.cores

@@ -33,6 +33,14 @@ class NoiseProcess:
     ) -> None:
         if reads_per_step < 0:
             raise ValueError("reads_per_step must be non-negative")
+        if pages <= 0:
+            # An empty working set would make step()'s rng.choice blow up
+            # long after construction; fail at the call site instead.
+            raise ValueError("pages must be positive")
+        if not 0 <= core < proc.config.cores:
+            raise ValueError(
+                f"core {core} out of range for a {proc.config.cores}-core machine"
+            )
         self.proc = proc
         self.core = core
         self.reads_per_step = reads_per_step

@@ -9,10 +9,19 @@ Commands
 ``list``
     List every regenerable figure/ablation and its paper reference.
 
-``figures [NAME ...] [--quick] [--out DIR]``
-    Regenerate paper figures (all by default).  ``--quick`` runs each at
-    reduced scale for a fast sanity pass; ``--out`` also writes the
-    tables to files.
+``figures [NAME ...] [--quick] [--out DIR] [--timeout S] [--retries N]
+[--manifest FILE] [--resume] [--fail-fast]``
+    Regenerate paper figures (all by default) through the hardened
+    experiment runner: each figure gets a wall-clock budget and bounded
+    retries, a crashing figure becomes a structured failure record
+    instead of killing the batch, and completed figures are checkpointed
+    to a JSON manifest so ``--resume`` reruns only what failed.
+
+``faults [--preset sct|ht|sgx|all] [--sites N] [--seed S]``
+    Sweep seeded fault-injection campaigns against the functional-crypto
+    machines and print the tamper-detection coverage matrix.  Exits
+    non-zero unless every protected-state corruption was detected with
+    zero false positives.
 """
 
 from __future__ import annotations
@@ -20,9 +29,8 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-import time
 
-from repro.analysis.report import FigureResult, format_result
+from repro.analysis.report import format_result
 
 _FIGURE_DOC = {
     "fig6": "Fig. 6  — access-path latency bands (SCT)",
@@ -61,15 +69,10 @@ _QUICK_KWARGS = {
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    from repro.config import SecureProcessorConfig
+    from repro.config import preset_config
     from repro.proc import SecureProcessor
 
-    presets = {
-        "sct": SecureProcessorConfig.sct_default,
-        "ht": SecureProcessorConfig.ht_default,
-        "sgx": SecureProcessorConfig.sgx_default,
-    }
-    config = presets[args.preset]()
+    config = preset_config(args.preset)
     proc = SecureProcessor(config)
     print(f"preset          : {config.name}")
     print(f"cores/sockets   : {config.cores}/{config.sockets}")
@@ -91,6 +94,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.analysis.figures import ALL_FIGURES
+    from repro.runner import ExperimentRunner, TaskSpec
 
     names = args.names or list(ALL_FIGURES)
     unknown = [name for name in names if name not in ALL_FIGURES]
@@ -101,25 +105,77 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     out_dir = pathlib.Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
-    failures = 0
-    for name in names:
-        kwargs = _QUICK_KWARGS.get(name, {}) if args.quick else {}
-        started = time.time()
-        try:
-            result: FigureResult = ALL_FIGURES[name](**kwargs)
-        except Exception as error:  # surface, keep going
-            print(f"!! {name} failed: {error}", file=sys.stderr)
-            failures += 1
-            continue
-        text = format_result(result)
+    manifest_path = args.manifest
+    if manifest_path is None and out_dir:
+        manifest_path = out_dir / "manifest.json"
+    if args.resume and manifest_path is None:
+        print("--resume needs a manifest: pass --manifest FILE or --out DIR",
+              file=sys.stderr)
+        return 2
+
+    specs = [
+        TaskSpec(
+            name=name,
+            fn=ALL_FIGURES[name],
+            kwargs=_QUICK_KWARGS.get(name, {}) if args.quick else {},
+        )
+        for name in names
+    ]
+
+    def _on_record(record) -> None:
+        if record.cached:
+            print(f"-- {record.name}: ok from manifest (resume)\n")
+            return
+        if record.status == "skipped":
+            print(f"-- {record.name}: {record.error}\n")
+            return
+        if not record.ok:
+            print(f"!! {record.name} failed: {record.error}", file=sys.stderr)
+            return
+        text = format_result(record.result)
         print(text)
-        print(f"   [{time.time() - started:.1f}s]\n")
+        print(f"   [{record.elapsed:.1f}s]\n")
         if out_dir:
-            (out_dir / f"{name}.txt").write_text(text + "\n")
-    return 1 if failures else 0
+            (out_dir / f"{record.name}.txt").write_text(text + "\n")
+
+    runner = ExperimentRunner(
+        timeout=args.timeout,
+        retries=args.retries,
+        reseed_base=args.seed,
+        manifest_path=manifest_path,
+        resume=args.resume,
+        fail_fast=args.fail_fast,
+    )
+    report = runner.run(specs, on_record=_on_record)
+    print(report.summary())
+    return 0 if report.status == "pass" else 1
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.config import preset_names
+    from repro.faults import campaign_figure_result, run_campaign
+
+    presets = list(preset_names()) if args.preset == "all" else [args.preset]
+    reports = {
+        preset: run_campaign(preset, sites=args.sites, seed=args.seed)
+        for preset in presets
+    }
+    print(format_result(campaign_figure_result(reports)))
+    all_detected = all(report.fully_detected for report in reports.values())
+    for preset, report in reports.items():
+        if not report.fully_detected:
+            for outcome in report.failures():
+                print(
+                    f"!! {preset}: site {outcome.index} ({outcome.site.value}) "
+                    f"{outcome.description}: {outcome.note}",
+                    file=sys.stderr,
+                )
+    return 0 if all_detected else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.config import preset_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MetaLeak reproduction: secure-processor metadata "
@@ -128,7 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     info = commands.add_parser("info", help="describe a machine preset")
-    info.add_argument("--preset", choices=("sct", "ht", "sgx"), default="sct")
+    info.add_argument("--preset", choices=preset_names(), default="sct")
     info.set_defaults(func=_cmd_info)
 
     listing = commands.add_parser("list", help="list regenerable figures")
@@ -138,14 +194,57 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("names", nargs="*", help="figure names (default: all)")
     figures.add_argument("--quick", action="store_true", help="reduced scale")
     figures.add_argument("--out", help="directory for result tables")
+    figures.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per figure in seconds (default: none)",
+    )
+    figures.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry failed figures up to N times with backoff",
+    )
+    figures.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for reseeded retries (figures accepting seed=)",
+    )
+    figures.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="checkpoint manifest path (default: OUT/manifest.json)",
+    )
+    figures.add_argument(
+        "--resume", action="store_true",
+        help="skip figures already ok in the manifest; rerun the rest",
+    )
+    figures.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop scheduling new figures after the first failure",
+    )
     figures.set_defaults(func=_cmd_figures)
+
+    faults = commands.add_parser(
+        "faults", help="run tamper-detection fault-injection campaigns"
+    )
+    faults.add_argument(
+        "--preset", choices=(*preset_names(), "all"), default="all"
+    )
+    faults.add_argument(
+        "--sites", type=int, default=200, help="injection sites per preset"
+    )
+    faults.add_argument("--seed", type=int, default=2024)
+    faults.set_defaults(func=_cmd_faults)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

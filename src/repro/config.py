@@ -316,3 +316,27 @@ class SecureProcessorConfig:
             protected_size=epc_size - (epc_size % PAGE_SIZE),
         )
         return config.with_overrides(**overrides) if overrides else config
+
+
+# Named machine presets.  The single source of truth for every consumer
+# that accepts a ``--preset``-style name (CLI, figure harness, fault
+# campaigns); look up through :func:`preset_config` for a friendly error
+# instead of a bare ``KeyError``.
+PRESET_FACTORIES: dict[str, "staticmethod"] = {
+    "sct": SecureProcessorConfig.sct_default,
+    "ht": SecureProcessorConfig.ht_default,
+    "sgx": SecureProcessorConfig.sgx_default,
+}
+
+
+def preset_names() -> tuple[str, ...]:
+    return tuple(PRESET_FACTORIES)
+
+
+def preset_config(name: str, **overrides: object) -> SecureProcessorConfig:
+    """Build the named preset, forwarding ``overrides`` to its factory."""
+    factory = PRESET_FACTORIES.get(name)
+    if factory is None:
+        valid = ", ".join(sorted(PRESET_FACTORIES))
+        raise ValueError(f"unknown preset {name!r} (valid presets: {valid})")
+    return factory(**overrides)

@@ -56,6 +56,9 @@ class SetAssocCache:
         ]
         self.hits = 0
         self.misses = 0
+        # Optional fault-injection observer (see ``repro.faults.hooks``);
+        # notified on every miss fill so campaigns can corrupt fills.
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     # Address mapping
@@ -117,6 +120,8 @@ class SetAssocCache:
         cache_set.dirty[free_way] = dirty
         cache_set.index_of[block] = free_way
         cache_set.policy.on_fill(free_way)
+        if self.fault_hook is not None:
+            self.fault_hook.on_cache_fill(self.config.name, block)
         return CacheAccess(
             hit=False, evicted_addr=evicted_addr, evicted_dirty=evicted_dirty
         )

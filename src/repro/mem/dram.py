@@ -28,6 +28,9 @@ class DramModel:
         self._banks = [_BankState() for _ in range(config.banks)]
         self.reads = 0
         self.writes = 0
+        # Optional fault-injection observer (see ``repro.faults.hooks``);
+        # notified on every access so campaigns can trigger on DRAM events.
+        self.fault_hook = None
 
     def _row_of(self, addr: int) -> int:
         return addr // self.config.row_size
@@ -41,6 +44,8 @@ class DramModel:
         The returned latency includes any stall waiting for the target bank
         to finish earlier work (e.g. a re-encryption burst).
         """
+        if self.fault_hook is not None:
+            self.fault_hook.on_dram_access(addr, now, is_write=is_write)
         bank = self._banks[self.bank_of(addr)]
         wait = max(0, bank.busy_until - now)
         row = self._row_of(addr)

@@ -54,6 +54,10 @@ class MemoryController:
         self.writes_serviced = 0
         self.writes_merged = 0
         self.drains = 0
+        self.writes_dropped = 0
+        # Optional fault-injection observer (see ``repro.faults.hooks``);
+        # may drop or reorder the drain burst's entries.
+        self.fault_hook = None
 
     def set_write_sink(self, sink: WriteSink) -> None:
         """Install the security-engine callback run when a write services."""
@@ -106,6 +110,10 @@ class MemoryController:
         t = now
         entries = list(self._write_queue.values())
         self._write_queue.clear()
+        if self.fault_hook is not None:
+            kept = self.fault_hook.on_write_drain(entries)
+            self.writes_dropped += len(entries) - len(kept)
+            entries = kept
         for entry in entries:
             t += self.dram.access(entry.addr, t, is_write=True)
             self.writes_serviced += 1

@@ -1,0 +1,29 @@
+"""Hardened experiment runner: timeouts, retries, checkpoint/resume.
+
+Paper-scale experiment batches fail in boring ways — one figure hangs,
+one trips an assertion, the machine reboots mid-run.  This package wraps
+a list of named experiment callables in per-task timeouts, bounded
+retries with exponential backoff (reseeding the experiment RNG between
+attempts when the callable accepts a ``seed``), and a JSON manifest that
+checkpoints every completed task so an interrupted batch resumes where
+it stopped instead of starting over.  One crashing task never takes the
+batch down: it becomes a structured failure record and the rest run.
+"""
+
+from repro.runner.core import (
+    BatchReport,
+    ExperimentRunner,
+    TaskRecord,
+    TaskSpec,
+    TaskTimeout,
+    load_manifest,
+)
+
+__all__ = [
+    "BatchReport",
+    "ExperimentRunner",
+    "TaskRecord",
+    "TaskSpec",
+    "TaskTimeout",
+    "load_manifest",
+]

@@ -1,0 +1,341 @@
+"""The resumable experiment runner (see package docstring).
+
+Timeouts use ``SIGALRM`` when available (CPython main thread on Unix),
+which interrupts even a tight pure-Python loop; elsewhere the task runs
+on a worker thread and is abandoned on expiry — the result is discarded
+either way and the task is recorded as ``timeout``.  The manifest is
+written atomically (temp file + ``os.replace``) after *every* task, so
+a crash at any point leaves a loadable checkpoint.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+MANIFEST_VERSION = 1
+
+# Record statuses a task can end in.  ``ok`` counts as success whether it
+# ran now or was restored from the manifest (``cached`` flag tells them
+# apart); everything else is some flavour of not-done.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUS_SKIPPED = "skipped"
+
+
+class TaskTimeout(Exception):
+    """A task exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One named experiment to run: a callable plus its arguments."""
+
+    name: str
+    fn: Callable[..., Any]
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    timeout: float | None = None  # overrides the runner default
+    retries: int | None = None  # overrides the runner default
+
+
+@dataclass
+class TaskRecord:
+    """Structured outcome of one task (what the manifest persists)."""
+
+    name: str
+    status: str
+    attempts: int = 0
+    elapsed: float = 0.0
+    error: str = ""
+    detail: str = ""  # traceback tail for failures
+    seed: int | None = None  # reseed used by the successful/last attempt
+    cached: bool = False  # restored from a previous run's manifest
+    result: Any = None  # in-memory only, never serialised
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "attempts": self.attempts,
+            "elapsed": round(self.elapsed, 3),
+            "error": self.error,
+            "detail": self.detail,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TaskRecord":
+        return cls(
+            name=str(data.get("name", "")),
+            status=str(data.get("status", STATUS_FAILED)),
+            attempts=int(data.get("attempts", 0)),
+            elapsed=float(data.get("elapsed", 0.0)),
+            error=str(data.get("error", "")),
+            detail=str(data.get("detail", "")),
+            seed=data.get("seed"),
+        )
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one batch."""
+
+    records: list[TaskRecord] = field(default_factory=list)
+
+    def record(self, name: str) -> TaskRecord:
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(f"no task named {name!r} in this batch")
+
+    @property
+    def ok(self) -> list[TaskRecord]:
+        return [r for r in self.records if r.ok]
+
+    @property
+    def failed(self) -> list[TaskRecord]:
+        return [r for r in self.records if r.status in (STATUS_FAILED, STATUS_TIMEOUT)]
+
+    @property
+    def skipped(self) -> list[TaskRecord]:
+        return [r for r in self.records if r.status == STATUS_SKIPPED]
+
+    @property
+    def status(self) -> str:
+        """``pass`` (everything ok), ``fail`` (nothing ok) or ``partial``."""
+        if not self.records or all(r.ok for r in self.records):
+            return "pass"
+        if any(r.ok for r in self.records):
+            return "partial"
+        return "fail"
+
+    def summary(self) -> str:
+        lines = [
+            f"batch {self.status}: {len(self.ok)}/{len(self.records)} ok, "
+            f"{len(self.failed)} failed, {len(self.skipped)} skipped"
+        ]
+        for record in self.records:
+            flags = " (cached)" if record.cached else ""
+            tail = f" — {record.error}" if record.error else ""
+            lines.append(
+                f"  {record.name:<20} {record.status:<8} "
+                f"attempts={record.attempts} {record.elapsed:.1f}s{flags}{tail}"
+            )
+        return "\n".join(lines)
+
+
+def load_manifest(path: str | os.PathLike[str]) -> dict[str, TaskRecord]:
+    """Load a checkpoint manifest; missing/corrupt files load as empty."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict) or data.get("version") != MANIFEST_VERSION:
+        return {}
+    tasks = data.get("tasks", {})
+    records: dict[str, TaskRecord] = {}
+    if isinstance(tasks, dict):
+        for name, entry in tasks.items():
+            if isinstance(entry, dict):
+                entry = dict(entry, name=name)
+                records[name] = TaskRecord.from_dict(entry)
+    return records
+
+
+def _write_manifest(
+    path: str | os.PathLike[str], records: dict[str, TaskRecord]
+) -> None:
+    payload = {
+        "version": MANIFEST_VERSION,
+        "tasks": {name: record.to_dict() for name, record in records.items()},
+    }
+    tmp = f"{os.fspath(path)}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def _accepts_seed(fn: Callable[..., Any]) -> bool:
+    """Can ``fn`` be handed a ``seed=`` keyword for a reseeded retry?"""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+    for param in params.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if param.name == "seed" and param.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+def _call_with_timeout(
+    fn: Callable[..., Any], kwargs: dict[str, Any], timeout: float | None
+) -> Any:
+    """Run ``fn(**kwargs)``, raising :class:`TaskTimeout` on expiry."""
+    if timeout is None or timeout <= 0:
+        return fn(**kwargs)
+    use_alarm = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+
+        def _on_alarm(signum, frame):  # noqa: ARG001 - signal signature
+            raise TaskTimeout(f"timed out after {timeout:g}s")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return fn(**kwargs)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+    # Fallback (non-main thread / platforms without SIGALRM): run on a
+    # daemon worker and abandon it on expiry.  The worker cannot be
+    # killed, but its eventual result is discarded.
+    box: dict[str, Any] = {}
+
+    def _target() -> None:
+        try:
+            box["result"] = fn(**kwargs)
+        except BaseException as error:  # noqa: BLE001 - transported below
+            box["error"] = error
+
+    worker = threading.Thread(target=_target, daemon=True)
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise TaskTimeout(f"timed out after {timeout:g}s (worker abandoned)")
+    if "error" in box:
+        raise box["error"]
+    return box.get("result")
+
+
+class ExperimentRunner:
+    """Run a batch of :class:`TaskSpec` with isolation and checkpointing."""
+
+    def __init__(
+        self,
+        *,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 1.0,
+        reseed_base: int | None = None,
+        manifest_path: str | os.PathLike[str] | None = None,
+        resume: bool = False,
+        fail_fast: bool = False,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.reseed_base = reseed_base
+        self.manifest_path = manifest_path
+        self.resume = resume
+        self.fail_fast = fail_fast
+        self._sleep = sleep
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        specs: list[TaskSpec],
+        *,
+        on_record: Callable[[TaskRecord], None] | None = None,
+    ) -> BatchReport:
+        """Run every spec; ``on_record`` streams each outcome as it lands."""
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("task names must be unique within a batch")
+        manifest: dict[str, TaskRecord] = {}
+        if self.manifest_path is not None and self.resume:
+            manifest = load_manifest(self.manifest_path)
+        report = BatchReport()
+        abort = False
+        for spec in specs:
+            previous = manifest.get(spec.name)
+            if previous is not None and previous.ok:
+                record = previous
+                record.cached = True
+            elif abort:
+                record = TaskRecord(
+                    name=spec.name,
+                    status=STATUS_SKIPPED,
+                    error="skipped (fail-fast)",
+                )
+            else:
+                record = self._run_one(spec)
+            report.records.append(record)
+            manifest[spec.name] = record
+            if self.manifest_path is not None:
+                _write_manifest(self.manifest_path, manifest)
+            if on_record is not None:
+                on_record(record)
+            if self.fail_fast and record.status in (STATUS_FAILED, STATUS_TIMEOUT):
+                abort = True
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _run_one(self, spec: TaskSpec) -> TaskRecord:
+        timeout = spec.timeout if spec.timeout is not None else self.timeout
+        retries = spec.retries if spec.retries is not None else self.retries
+        reseedable = self.reseed_base is not None and _accepts_seed(spec.fn)
+        record = TaskRecord(name=spec.name, status=STATUS_FAILED)
+        started = self._clock()
+        for attempt in range(retries + 1):
+            record.attempts = attempt + 1
+            kwargs = dict(spec.kwargs)
+            if reseedable and attempt > 0:
+                # Retry under fresh randomness: a flaky statistical
+                # experiment should not re-roll the exact same trace.
+                record.seed = (self.reseed_base or 0) + attempt
+                kwargs.setdefault("seed", record.seed)
+            try:
+                record.result = _call_with_timeout(spec.fn, kwargs, timeout)
+            except TaskTimeout as error:
+                record.status = STATUS_TIMEOUT
+                record.error = str(error)
+                record.detail = ""
+            except KeyboardInterrupt:
+                raise
+            except BaseException as error:  # crash isolation
+                record.status = STATUS_FAILED
+                record.error = f"{type(error).__name__}: {error}"
+                record.detail = "".join(
+                    traceback.format_exception(error)
+                )[-2000:]
+            else:
+                record.status = STATUS_OK
+                record.error = ""
+                record.detail = ""
+                break
+            if attempt < retries and self.backoff > 0:
+                self._sleep(self.backoff * (2**attempt))
+        record.elapsed = self._clock() - started
+        return record

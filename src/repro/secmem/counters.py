@@ -66,6 +66,8 @@ class EncryptionCounterStore:
         self._written: set[int] = set()
         self.key_epoch = 0
         self.overflows = 0
+        # Optional fault-injection observer (see ``repro.faults.hooks``).
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -124,6 +126,8 @@ class EncryptionCounterStore:
 
     def increment(self, block: int) -> CounterEvent:
         """Bump the write counter for ``block`` (one serviced write)."""
+        if self.fault_hook is not None:
+            self.fault_hook.on_counter_increment(block)
         self._written.add(block)
         if self.scheme is CounterScheme.SPLIT:
             return self._increment_split(block)
@@ -229,3 +233,26 @@ class EncryptionCounterStore:
         if self.scheme is not CounterScheme.SPLIT:
             raise ValueError("tamper_split_minor requires SC mode")
         self._split_block(cb_index).minors[slot] = value
+
+    def tamper_counter(self, block: int, value: int) -> int:
+        """Corrupt the DRAM-resident counter state of one data block.
+
+        Scheme-generic (SC: the block's minor; MoC: its counter; GC: its
+        snapshot); bypasses all hashing, exactly like an off-chip bit
+        flip.  Returns the previous value so fault campaigns can restore
+        the state after checking detection.
+        """
+        if self.scheme is CounterScheme.SPLIT:
+            cb_index = block // self.layout.blocks_per_counter_block
+            slot = block % self.layout.blocks_per_counter_block
+            state = self._split_block(cb_index)
+            old = state.minors[slot]
+            state.minors[slot] = value
+            return old
+        if self.scheme is CounterScheme.MONOLITHIC:
+            old = self._mono.get(block, 0)
+            self._mono[block] = value
+            return old
+        old = self._snapshots.get(block, 0)
+        self._snapshots[block] = value
+        return old

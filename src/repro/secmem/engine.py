@@ -109,9 +109,28 @@ class MemoryEncryptionEngine:
         # Plaintext pending in the write queue, consumed at service time.
         self._pending_plain: dict[int, bytes] = {}
         self.stats = EngineStats()
+        # Optional fault-injection observer (see ``repro.faults.hooks``);
+        # notified right before metadata fetched from memory is verified,
+        # so campaigns can model corrupt-on-fill faults.
+        self.fault_hook = None
         if config.isolated_trees and config.tree_update_policy is not TreeUpdatePolicy.LAZY:
             raise ValueError("isolated trees are implemented for the lazy policy")
         memctrl.set_write_sink(self._service_write)
+
+    def install_fault_hook(self, hook) -> None:
+        """Thread one fault-injection hook through every memory-side layer.
+
+        The hook (a ``repro.faults.hooks.FaultHook``) observes DRAM
+        accesses, write-queue drains, cache fills, counter increments and
+        metadata fetches; ``None`` detaches everywhere.
+        """
+        self.fault_hook = hook
+        self.memctrl.fault_hook = hook
+        self.memctrl.dram.fault_hook = hook
+        self.counters.fault_hook = hook
+        self.meta_cache.fault_hook = hook
+        if self.tree_cache is not self.meta_cache:
+            self.tree_cache.fault_hook = hook
 
     # ------------------------------------------------------------------
     # Per-domain isolated trees (Section IX-C mitigation)
@@ -277,12 +296,16 @@ class MemoryEncryptionEngine:
                 meta_latency += self.config.dram.bus_latency + crypto.hash_latency
             else:
                 meta_latency += fetch + crypto.hash_latency
+            if self.fault_hook is not None:
+                self.fault_hook.on_meta_fetch("node", level, index)
             try:
                 tree.verify_node(level, index)
             except TreeIntegrityError as exc:
                 raise IntegrityViolation(str(exc)) from exc
         # Verify the counter block itself against the leaf.
         meta_latency += crypto.hash_latency
+        if self.fault_hook is not None:
+            self.fault_hook.on_meta_fetch("counter", 0, cb_index)
         self._verify_counter_block(cb_index)
         # Fill the metadata cache (counter block + fetched nodes).
         self._meta_fill(cb_addr, dirty=False, now=now)
@@ -543,6 +566,24 @@ class MemoryEncryptionEngine:
     def tamper_spoof(self, addr: int, new_ciphertext: bytes) -> None:
         """Off-chip data spoofing: overwrite a ciphertext block in memory."""
         self._ciphertext[block_address(addr)] = bytes(new_ciphertext)
+
+    def tamper_flip_data_bit(self, addr: int, bit: int) -> None:
+        """Flip one bit of a DRAM-resident ciphertext block (rowhammer-ish).
+
+        Flipping is an involution, so applying the same fault twice
+        restores the block — fault campaigns rely on this for undo.
+        """
+        block = block_address(addr)
+        image = bytearray(self._ciphertext.get(block, bytes(BLOCK_SIZE)))
+        image[(bit // 8) % len(image)] ^= 1 << (bit % 8)
+        self._ciphertext[block] = bytes(image)
+
+    def tamper_flip_mac_bit(self, addr: int, bit: int) -> None:
+        """Flip one bit of a block's stored MAC (also an involution)."""
+        block = block_address(addr)
+        mac = bytearray(self._macs.get(block, bytes(8)))
+        mac[(bit // 8) % len(mac)] ^= 1 << (bit % 8)
+        self._macs[block] = bytes(mac)
 
     def tamper_splice(self, addr_a: int, addr_b: int) -> None:
         """Swap the ciphertext+MAC of two memory locations."""

@@ -96,6 +96,16 @@ class IntegrityTree(abc.ABC):
             nodes.append((geometry.level, index))
         return nodes
 
+    @abc.abstractmethod
+    def tamper_node(self, level: int, index: int, slot: int, value: int) -> int:
+        """Corrupt one stored word of a memory-resident node block.
+
+        Design-agnostic entry point for fault injection: a counter tree
+        corrupts the ``slot``-th minor counter, a hash tree the ``slot``-th
+        stored child hash.  Neither re-hashes anything — this is an
+        off-chip bit flip.  Returns the previous value for undo.
+        """
+
 
 # ----------------------------------------------------------------------
 # Counter tree (SCT and SIT)
@@ -325,6 +335,12 @@ class CounterTree(IntegrityTree):
         """Corrupt a stored minor counter without re-hashing (spoofing)."""
         self._node(level, index).minors[slot] = value
 
+    def tamper_node(self, level: int, index: int, slot: int, value: int) -> int:
+        node = self._node(level, index)
+        old = node.minors[slot]
+        node.minors[slot] = value
+        return old
+
     def tamper_replay(self, level: int, index: int, snapshot: tuple[int, ...]) -> None:
         """Overwrite a node block with an old snapshot (replay attack)."""
         major, *rest = snapshot
@@ -484,6 +500,12 @@ class HashTree(IntegrityTree):
 
     def tamper_child_hash(self, level: int, index: int, slot: int, value: int) -> None:
         self._node(level, index)[slot] = value
+
+    def tamper_node(self, level: int, index: int, slot: int, value: int) -> int:
+        node = self._node(level, index)
+        old = node[slot]
+        node[slot] = value
+        return old
 
 
 def build_tree(

@@ -294,3 +294,17 @@ class TestCalibrator:
         proc, alloc = make_env()
         with pytest.raises(ValueError):
             NoiseProcess(proc, alloc, reads_per_step=-1)
+
+    def test_noise_rejects_empty_working_set(self):
+        proc, alloc = make_env()
+        with pytest.raises(ValueError, match="pages"):
+            NoiseProcess(proc, alloc, pages=0)
+        with pytest.raises(ValueError, match="pages"):
+            NoiseProcess(proc, alloc, pages=-3)
+
+    def test_noise_rejects_out_of_range_core(self):
+        proc, alloc = make_env()
+        with pytest.raises(ValueError, match="core"):
+            NoiseProcess(proc, alloc, core=proc.config.cores)
+        with pytest.raises(ValueError, match="core"):
+            NoiseProcess(proc, alloc, core=-1)

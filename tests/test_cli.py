@@ -51,3 +51,166 @@ class TestCommands:
         from repro.analysis.figures import ALL_FIGURES
 
         assert set(_QUICK_KWARGS) <= set(ALL_FIGURES)
+
+    def test_info_rejects_unknown_preset(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["info", "--preset", "bogus"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+def _fake_figure(label="fake"):
+    from repro.analysis.report import FigureResult
+
+    def figure(**_kwargs):
+        result = FigureResult(figure=label, title="stub")
+        result.add("value", 1)
+        return result
+
+    return figure
+
+
+class TestHardenedFigureRuns:
+    """The resilient-runner behaviours of ``repro figures``."""
+
+    def test_one_failure_does_not_stop_the_batch(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.analysis import figures as figures_mod
+        from repro.runner import load_manifest
+
+        monkeypatch.setitem(figures_mod.ALL_FIGURES, "fig6", _fake_figure())
+        monkeypatch.setitem(
+            figures_mod.ALL_FIGURES,
+            "fig8",
+            lambda **_kw: (_ for _ in ()).throw(RuntimeError("forced crash")),
+        )
+        monkeypatch.setitem(figures_mod.ALL_FIGURES, "fig14", _fake_figure())
+        code = main(
+            ["figures", "fig6", "fig8", "fig14", "--out", str(tmp_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "fig8 failed" in captured.err
+        assert "forced crash" in captured.err
+        # The figures around the failure still completed and were written.
+        assert (tmp_path / "fig6.txt").exists()
+        assert (tmp_path / "fig14.txt").exists()
+        records = load_manifest(tmp_path / "manifest.json")
+        assert records["fig8"].status == "failed"
+        assert records["fig6"].ok and records["fig14"].ok
+
+    def test_resume_reruns_only_the_failure(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.analysis import figures as figures_mod
+
+        ran = []
+
+        def tracked(name, fail=False):
+            def figure(**_kwargs):
+                ran.append(name)
+                if fail:
+                    raise RuntimeError("still broken")
+                return _fake_figure(name)()
+
+            return figure
+
+        monkeypatch.setitem(
+            figures_mod.ALL_FIGURES, "fig6", tracked("fig6")
+        )
+        monkeypatch.setitem(
+            figures_mod.ALL_FIGURES, "fig8", tracked("fig8", fail=True)
+        )
+        assert main(["figures", "fig6", "fig8", "--out", str(tmp_path)]) == 1
+        assert ran == ["fig6", "fig8"]
+
+        ran.clear()
+        monkeypatch.setitem(
+            figures_mod.ALL_FIGURES, "fig8", tracked("fig8")
+        )
+        code = main(
+            ["figures", "fig6", "fig8", "--out", str(tmp_path), "--resume"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert ran == ["fig8"]  # fig6 restored from the manifest
+        assert "fig6: ok from manifest" in captured.out
+
+    def test_timeout_records_and_continues(self, capsys, tmp_path, monkeypatch):
+        import time
+
+        from repro.analysis import figures as figures_mod
+        from repro.runner import load_manifest
+
+        monkeypatch.setitem(
+            figures_mod.ALL_FIGURES, "fig6", lambda **_kw: time.sleep(3)
+        )
+        monkeypatch.setitem(figures_mod.ALL_FIGURES, "fig8", _fake_figure())
+        code = main(
+            [
+                "figures", "fig6", "fig8",
+                "--out", str(tmp_path), "--timeout", "0.1",
+            ]
+        )
+        assert code == 1
+        records = load_manifest(tmp_path / "manifest.json")
+        assert records["fig6"].status == "timeout"
+        assert records["fig8"].ok
+
+    def test_fail_fast_skips_remaining(self, capsys, monkeypatch):
+        from repro.analysis import figures as figures_mod
+
+        ran = []
+        monkeypatch.setitem(
+            figures_mod.ALL_FIGURES,
+            "fig6",
+            lambda **_kw: (_ for _ in ()).throw(RuntimeError("dead")),
+        )
+        monkeypatch.setitem(
+            figures_mod.ALL_FIGURES,
+            "fig8",
+            lambda **_kw: ran.append("fig8") or _fake_figure()(),
+        )
+        assert main(["figures", "fig6", "fig8", "--fail-fast"]) == 1
+        assert not ran
+        assert "fail-fast" in capsys.readouterr().out
+
+    def test_resume_requires_a_manifest(self, capsys):
+        assert main(["figures", "fig6", "--resume"]) == 2
+        assert "--resume needs a manifest" in capsys.readouterr().err
+
+    def test_retry_flag_reaches_the_runner(self, tmp_path, monkeypatch):
+        from repro.analysis import figures as figures_mod
+
+        calls = []
+
+        def flaky(**_kwargs):
+            calls.append(1)
+            if len(calls) < 2:
+                raise RuntimeError("transient")
+            return _fake_figure()()
+
+        monkeypatch.setitem(figures_mod.ALL_FIGURES, "fig6", flaky)
+        code = main(
+            ["figures", "fig6", "--out", str(tmp_path), "--retries", "2"]
+        )
+        assert code == 0
+        assert len(calls) == 2
+
+
+class TestFaultsCommand:
+    def test_quick_campaign_passes(self, capsys):
+        assert main(["faults", "--preset", "sct", "--sites", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "data-bit detected" in output
+        assert "false positives" in output
+
+    def test_invalid_sites_exit_code(self, capsys):
+        assert main(["faults", "--preset", "sct", "--sites", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_accepts_all_presets(self):
+        args = build_parser().parse_args(["faults", "--preset", "all"])
+        assert args.preset == "all"
+        assert args.sites == 200

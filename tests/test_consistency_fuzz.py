@@ -7,7 +7,8 @@ written value.  Hypothesis drives random operation sequences against a
 plain dict reference model.
 """
 
-from hypothesis import settings
+import pytest
+from hypothesis import given, settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
@@ -16,8 +17,9 @@ from hypothesis.stateful import (
 )
 from hypothesis import strategies as st
 
-from repro.config import MIB, SecureProcessorConfig, TreeUpdatePolicy
+from repro.config import MIB, SecureProcessorConfig, TreeUpdatePolicy, preset_config
 from repro.proc import SecureProcessor
+from repro.secmem.engine import IntegrityViolation
 
 _BLOCKS = 24  # distinct blocks under test, spread across pages
 _PAGES = 6
@@ -100,3 +102,81 @@ TestSecureMemoryConsistency = SecureMemoryMachine.TestCase
 TestSecureMemoryConsistency.settings = settings(
     max_examples=25, stateful_step_count=40, deadline=None
 )
+
+
+# ----------------------------------------------------------------------
+# Tamper-detection property: any single-bit flip in a protected data
+# block, its encryption counter, or any tree node on its verification
+# path raises IntegrityViolation on the next (metadata-cold) read.
+# ----------------------------------------------------------------------
+
+_PRESETS = ("sct", "ht", "sgx")
+# One prepared functional-crypto machine per preset, shared across
+# examples: every flip below is undone, so the machine stays consistent.
+_TAMPER_MACHINES = {}
+
+
+def _tamper_machine(preset):
+    if preset not in _TAMPER_MACHINES:
+        config = preset_config(
+            preset, protected_size=4 * MIB, functional_crypto=True
+        )
+        proc = SecureProcessor(config)
+        addrs = []
+        for page in range(6):
+            addr = (1 + page * 29) * 4096
+            proc.write_through(addr, b"tamper-%d" % page)
+            addrs.append(addr)
+        proc.drain_writes()
+        proc.mee.flush_metadata_cache(proc.cycle)
+        _TAMPER_MACHINES[preset] = (proc, addrs)
+    return _TAMPER_MACHINES[preset]
+
+
+def _cold_read(proc, addr):
+    proc.flush(addr)
+    proc.mee.flush_metadata_cache(proc.cycle)
+    return proc.read(addr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    preset=st.sampled_from(_PRESETS),
+    kind=st.sampled_from(["data", "counter", "tree"]),
+    data=st.data(),
+)
+def test_single_bit_flip_always_detected(preset, kind, data):
+    proc, addrs = _tamper_machine(preset)
+    addr = data.draw(st.sampled_from(addrs), label="addr")
+    mee = proc.mee
+    if kind == "data":
+        bit = data.draw(st.integers(0, 511), label="bit")
+        undo = lambda: mee.tamper_flip_data_bit(addr, bit)  # involution
+        mee.tamper_flip_data_bit(addr, bit)
+    elif kind == "counter":
+        block = addr // 64
+        bit = data.draw(st.integers(0, 31), label="bit")
+        old = mee.counters.tamper_counter(block, 0)
+        mee.counters.tamper_counter(block, old ^ (1 << bit))
+        undo = lambda: mee.counters.tamper_counter(block, old)
+    else:
+        layout = proc.layout
+        level = data.draw(
+            st.integers(0, len(layout.levels) - 1), label="level"
+        )
+        index = layout.node_index(level, layout.counter_block_index(addr))
+        slot = data.draw(
+            st.integers(0, layout.levels[level].arity - 1), label="slot"
+        )
+        bit = data.draw(st.integers(0, 31), label="bit")
+        old = mee.tree.tamper_node(level, index, slot, 0)
+        mee.tree.tamper_node(level, index, slot, old ^ (1 << bit))
+        undo = lambda: mee.tree.tamper_node(level, index, slot, old)
+    try:
+        with pytest.raises(IntegrityViolation):
+            _cold_read(proc, addr)
+    finally:
+        undo()
+    # No residue: the machine reads clean again after the undo.
+    result = _cold_read(proc, addr)
+    assert result.data[:7] == b"tamper-"

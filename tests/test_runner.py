@@ -1,0 +1,226 @@
+"""Tests for the hardened experiment runner."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runner import (
+    BatchReport,
+    ExperimentRunner,
+    TaskRecord,
+    TaskSpec,
+    TaskTimeout,
+    load_manifest,
+)
+from repro.runner.core import _accepts_seed, _call_with_timeout
+
+
+class TestTimeouts:
+    def test_fast_task_completes(self):
+        assert _call_with_timeout(lambda: 41 + 1, {}, timeout=5.0) == 42
+
+    def test_slow_task_raises(self):
+        with pytest.raises(TaskTimeout):
+            _call_with_timeout(lambda: time.sleep(2), {}, timeout=0.05)
+
+    def test_no_timeout_means_no_alarm(self):
+        assert _call_with_timeout(lambda: "done", {}, timeout=None) == "done"
+
+    def test_exceptions_pass_through(self):
+        with pytest.raises(KeyError):
+            _call_with_timeout(lambda: {}["missing"], {}, timeout=5.0)
+
+    def test_thread_fallback_when_not_main_thread(self):
+        # Off the main thread SIGALRM is unavailable; the worker-thread
+        # fallback must still enforce the budget.
+        box = {}
+
+        def off_main():
+            runner = ExperimentRunner(timeout=0.05)
+            box["report"] = runner.run(
+                [TaskSpec("slow", lambda: time.sleep(2))]
+            )
+
+        worker = threading.Thread(target=off_main)
+        worker.start()
+        worker.join(10)
+        assert box["report"].records[0].status == "timeout"
+
+
+class TestRetries:
+    def test_eventual_success_with_backoff(self):
+        attempts = []
+        sleeps = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        runner = ExperimentRunner(retries=3, backoff=0.5, sleep=sleeps.append)
+        report = runner.run([TaskSpec("flaky", flaky)])
+        record = report.records[0]
+        assert record.ok and record.attempts == 3
+        assert sleeps == [0.5, 1.0]  # exponential
+
+    def test_retries_exhausted(self):
+        runner = ExperimentRunner(retries=2, backoff=0.0)
+        report = runner.run(
+            [TaskSpec("doomed", lambda: (_ for _ in ()).throw(ValueError("no")))]
+        )
+        record = report.records[0]
+        assert record.status == "failed"
+        assert record.attempts == 3
+        assert "ValueError" in record.error
+        assert "ValueError" in record.detail
+
+    def test_retry_reseeds_when_fn_accepts_seed(self):
+        seen = []
+
+        def experiment(seed=None):
+            seen.append(seed)
+            if len(seen) < 3:
+                raise RuntimeError("unlucky roll")
+            return seed
+
+        runner = ExperimentRunner(retries=3, backoff=0.0, reseed_base=500)
+        report = runner.run([TaskSpec("exp", experiment)])
+        # First attempt uses the experiment's own default; retries reseed.
+        assert seen == [None, 501, 502]
+        assert report.records[0].seed == 502
+
+    def test_no_seed_injection_without_parameter(self):
+        calls = []
+
+        def experiment():
+            calls.append(1)
+            if len(calls) < 2:
+                raise RuntimeError("flake")
+            return "ok"
+
+        runner = ExperimentRunner(retries=2, backoff=0.0, reseed_base=500)
+        assert runner.run([TaskSpec("exp", experiment)]).records[0].ok
+
+    def test_accepts_seed_detection(self):
+        assert _accepts_seed(lambda seed=0: None)
+        assert _accepts_seed(lambda **kwargs: None)
+        assert not _accepts_seed(lambda bits=1: None)
+
+
+class TestIsolationAndReporting:
+    def test_crash_does_not_kill_batch(self):
+        runner = ExperimentRunner()
+        report = runner.run(
+            [
+                TaskSpec("boom", lambda: 1 / 0),
+                TaskSpec("fine", lambda: "result"),
+            ]
+        )
+        assert report.status == "partial"
+        assert report.record("boom").status == "failed"
+        assert "ZeroDivisionError" in report.record("boom").error
+        assert report.record("fine").result == "result"
+
+    def test_fail_fast_skips_the_rest(self):
+        ran = []
+        runner = ExperimentRunner(fail_fast=True)
+        report = runner.run(
+            [
+                TaskSpec("boom", lambda: 1 / 0),
+                TaskSpec("later", lambda: ran.append(1)),
+            ]
+        )
+        assert report.record("later").status == "skipped"
+        assert not ran
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ExperimentRunner().run(
+                [TaskSpec("x", lambda: 1), TaskSpec("x", lambda: 2)]
+            )
+
+    def test_status_levels(self):
+        assert BatchReport(records=[]).status == "pass"
+        ok = TaskRecord(name="a", status="ok")
+        bad = TaskRecord(name="b", status="failed")
+        assert BatchReport(records=[ok]).status == "pass"
+        assert BatchReport(records=[ok, bad]).status == "partial"
+        assert BatchReport(records=[bad]).status == "fail"
+
+    def test_summary_mentions_every_task(self):
+        runner = ExperimentRunner()
+        report = runner.run(
+            [TaskSpec("alpha", lambda: 1), TaskSpec("beta", lambda: 1 / 0)]
+        )
+        text = report.summary()
+        assert "alpha" in text and "beta" in text
+        assert "partial" in text
+
+    def test_invalid_runner_arguments(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(retries=-1)
+        with pytest.raises(ValueError):
+            ExperimentRunner(backoff=-0.1)
+
+
+class TestManifest:
+    def test_manifest_written_after_each_task(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        seen = []
+
+        def check():
+            seen.append(load_manifest(manifest))
+            return "ok"
+
+        runner = ExperimentRunner(manifest_path=manifest)
+        runner.run([TaskSpec("first", lambda: 1), TaskSpec("second", check)])
+        # By the time "second" runs, "first" is already checkpointed.
+        assert "first" in seen[0] and seen[0]["first"].ok
+        records = load_manifest(manifest)
+        assert {name for name in records} == {"first", "second"}
+
+    def test_resume_skips_ok_and_reruns_failures(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        runner = ExperimentRunner(manifest_path=manifest)
+        runner.run([TaskSpec("good", lambda: 1), TaskSpec("bad", lambda: 1 / 0)])
+
+        ran = []
+        resumed = ExperimentRunner(manifest_path=manifest, resume=True)
+        report = resumed.run(
+            [
+                TaskSpec("good", lambda: ran.append("good")),
+                TaskSpec("bad", lambda: ran.append("bad") or "fixed"),
+            ]
+        )
+        assert ran == ["bad"]
+        assert report.record("good").cached
+        assert not report.record("bad").cached
+        assert report.status == "pass"
+
+    def test_without_resume_everything_reruns(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        ExperimentRunner(manifest_path=manifest).run([TaskSpec("t", lambda: 1)])
+        ran = []
+        ExperimentRunner(manifest_path=manifest).run(
+            [TaskSpec("t", lambda: ran.append(1))]
+        )
+        assert ran == [1]
+
+    def test_corrupt_manifest_loads_empty(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json at all")
+        assert load_manifest(path) == {}
+        path.write_text('{"version": 99, "tasks": {}}')
+        assert load_manifest(path) == {}
+        assert load_manifest(tmp_path / "missing.json") == {}
+
+    def test_record_round_trip(self):
+        record = TaskRecord(
+            name="r", status="timeout", attempts=2, elapsed=1.5,
+            error="timed out", seed=7,
+        )
+        clone = TaskRecord.from_dict(record.to_dict())
+        assert clone.name == "r" and clone.status == "timeout"
+        assert clone.attempts == 2 and clone.seed == 7
