@@ -12,6 +12,7 @@ from repro.analysis.jpeg_attack import (
     run_jpeg_metaleak_c,
     run_jpeg_metaleak_t,
 )
+from repro.analysis.kvstore_attack import KvAttackResult, run_kvstore_attack
 from repro.analysis.rsa_attack import RsaAttackResult, run_rsa_attack
 from repro.analysis.mbedtls_attack import (
     MbedtlsAttackResult,
@@ -32,6 +33,8 @@ __all__ = [
     "JpegAttackResult",
     "run_jpeg_metaleak_c",
     "run_jpeg_metaleak_t",
+    "KvAttackResult",
+    "run_kvstore_attack",
     "RsaAttackResult",
     "run_rsa_attack",
     "MbedtlsAttackResult",

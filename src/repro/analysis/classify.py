@@ -20,6 +20,10 @@ class PairObservation:
     latency_b: int
     hit_a: bool
     hit_b: bool
+    # How much the label deserves to be believed: the margin-scaled
+    # calibration confidence of the deciding monitor(s); halved when both
+    # monitors hit and the call fell back to comparing margins.
+    confidence: float = 1.0
 
 
 class PairClassifier:
@@ -45,19 +49,27 @@ class PairClassifier:
 
     def m_reload(self) -> str:
         latency_a, hit_a = self.monitor_a.m_reload()
+        conf_a = self.monitor_a.last_confidence
         latency_b, hit_b = self.monitor_b.m_reload()
+        conf_b = self.monitor_b.last_confidence
         if hit_a and not hit_b:
             label = self.name_a
+            confidence = conf_a
         elif hit_b and not hit_a:
             label = self.name_b
+            confidence = conf_b
         elif hit_a and hit_b:
             # Both nodes look cached: pick the stronger (faster relative to
-            # its own threshold) signal.
+            # its own threshold) signal — and mark the call as ambiguous.
             margin_a = self.monitor_a.threshold - latency_a
             margin_b = self.monitor_b.threshold - latency_b
             label = self.name_a if margin_a >= margin_b else self.name_b
+            confidence = 0.5 * (conf_a if margin_a >= margin_b else conf_b)
         else:
+            # Two clean misses are a reading too ("neither page touched"):
+            # believe it as much as the weaker of the two miss margins.
             label = "none"
+            confidence = min(conf_a, conf_b)
         self.observations.append(
             PairObservation(
                 label=label,
@@ -65,6 +77,19 @@ class PairClassifier:
                 latency_b=latency_b,
                 hit_a=hit_a,
                 hit_b=hit_b,
+                confidence=confidence,
             )
         )
         return label
+
+    @property
+    def calibration_ok(self) -> bool:
+        """Did both monitors calibrate to separable latency bands?"""
+        return self.monitor_a.calibration.ok and self.monitor_b.calibration.ok
+
+    @property
+    def mean_confidence(self) -> float:
+        if not self.observations:
+            return 0.0
+        total = sum(obs.confidence for obs in self.observations)
+        return total / len(self.observations)

@@ -53,6 +53,23 @@ class JpegAttackResult:
     oracle_correlation: float = 0.0
     steps: int = 0
     attacker_cycles: int = 0
+    # Per coefficient decision: belief in the underlying reading (0.0 =
+    # defaulted, not observed).  ``degraded`` flags runs whose mask is
+    # built on guesses or a degenerate calibration.
+    confidences: list[float] = field(repr=False, default_factory=list)
+    mean_confidence: float = 0.0
+    degraded: bool = False
+    degraded_reasons: tuple[str, ...] = ()
+
+
+def _confidence_summary(
+    confidences: list[float], extra_reasons: tuple[str, ...] = ()
+) -> tuple[float, bool, tuple[str, ...]]:
+    mean = sum(confidences) / len(confidences) if confidences else 0.0
+    reasons = list(extra_reasons)
+    if mean < 0.5:
+        reasons.append("low-confidence")
+    return mean, bool(reasons), tuple(reasons)
 
 
 def _build_environment(
@@ -107,6 +124,7 @@ def run_jpeg_metaleak_t(
 
     image = sample_image(image_name, size)
     decisions: list[bool] = []
+    confidences: list[float] = []
     start_cycle = proc.cycle
 
     def before(step: int, _payload: object) -> None:
@@ -119,6 +137,7 @@ def run_jpeg_metaleak_t(
         # "none" most often means the zero-path write was merged away;
         # zero runs dominate JPEG AC coefficients, so default to zero.
         decisions.append(label != "nonzero")
+        confidences.append(classifier.observations[-1].confidence)
 
     stepper = SgxStep(interval=1)
     encoded = stepper.run(victim.encode_image(image), probe=probe, before_step=before)
@@ -129,6 +148,10 @@ def run_jpeg_metaleak_t(
         recovered, encoded.shape, quality=quality
     )
     oracle = reconstruct_from_mask(truth, encoded.shape, quality=quality)
+    mean_confidence, degraded, reasons = _confidence_summary(
+        confidences,
+        () if classifier.calibration_ok else ("degenerate-calibration",),
+    )
     return JpegAttackResult(
         image_name=image_name,
         stealing_accuracy=mask_accuracy(recovered, truth),
@@ -142,6 +165,10 @@ def run_jpeg_metaleak_t(
         oracle_correlation=pixel_correlation(oracle, reconstructed),
         steps=stepper.trace.steps,
         attacker_cycles=proc.cycle - start_cycle,
+        confidences=confidences,
+        mean_confidence=mean_confidence,
+        degraded=degraded,
+        degraded_reasons=reasons,
     )
 
 
@@ -183,13 +210,26 @@ def run_jpeg_metaleak_c(
 
     image = sample_image(image_name, size)
     decisions: list[bool] = []
+    confidences: list[float] = []
+    reasons: set[str] = set()
     start_cycle = proc.cycle
 
     def probe(step: int, _payload: object) -> None:
         attack.collect_victim_updates(victim.r_frame, level=level)
-        extra = handle.count_to_overflow()
-        victim_wrote = extra == 1
+        scan = handle.scan_to_overflow(max_bumps=3)
+        if not scan.fired:
+            # The counter is not where arming left it (noise swallowed the
+            # overflow tell, or a neighbour reset the node): default to
+            # zero (zero runs dominate) at zero confidence and re-arm
+            # from scratch rather than trusting the next readings.
+            decisions.append(True)
+            confidences.append(0.0)
+            reasons.add("counter-desync")
+            handle.arm_for_writes(1)
+            return
+        victim_wrote = scan.bumps == 1
         decisions.append(victim_wrote)  # write to r <=> zero coefficient
+        confidences.append(1.0)
         handle.preset(armed_value)
 
     stepper = SgxStep(interval=1)
@@ -199,6 +239,9 @@ def run_jpeg_metaleak_c(
     recovered = _decisions_to_masks(decisions, truth)
     reconstructed = reconstruct_from_mask(recovered, encoded.shape, quality=quality)
     oracle = reconstruct_from_mask(truth, encoded.shape, quality=quality)
+    mean_confidence, degraded, reason_tuple = _confidence_summary(
+        confidences, tuple(sorted(reasons))
+    )
     return JpegAttackResult(
         image_name=image_name,
         stealing_accuracy=mask_accuracy(recovered, truth),
@@ -212,4 +255,8 @@ def run_jpeg_metaleak_c(
         oracle_correlation=pixel_correlation(oracle, reconstructed),
         steps=stepper.trace.steps,
         attacker_cycles=proc.cycle - start_cycle,
+        confidences=confidences,
+        mean_confidence=mean_confidence,
+        degraded=degraded,
+        degraded_reasons=reason_tuple,
     )

@@ -34,16 +34,29 @@ class RsaAttackResult:
     labels: list[str] = field(repr=False, default_factory=list)
     latency_trace: list[tuple[int, int]] = field(repr=False, default_factory=list)
     steps: int = 0
+    # Per recovered bit: how much the underlying monitor readings deserve
+    # to be believed (0.0 = the decode guessed).  ``degraded`` marks runs
+    # whose output should not be trusted at face value.
+    confidences: list[float] = field(repr=False, default_factory=list)
+    mean_confidence: float = 0.0
+    degraded: bool = False
+    degraded_reasons: tuple[str, ...] = ()
 
 
-def decode_exponent_bits(labels: list[str]) -> list[int]:
+def decode_exponent_with_confidence(
+    labels: list[str], step_confidences: list[float] | None = None
+) -> tuple[list[int], list[float]]:
     """Noise-tolerant square/multiply decode (MSB-first bits).
 
     Unknown steps are treated as squares (squares dominate), and stray
     multiplies without a preceding square are skipped — local errors stay
-    local instead of shifting the whole bitstream.
+    local instead of shifting the whole bitstream.  Each decoded bit
+    carries the weakest step confidence it was built from.
     """
+    if step_confidences is None:
+        step_confidences = [1.0] * len(labels)
     bits: list[int] = []
+    confidences: list[float] = []
     index = 0
     while index < len(labels):
         label = labels[index]
@@ -52,10 +65,20 @@ def decode_exponent_bits(labels: list[str]) -> list[int]:
             continue
         if index + 1 < len(labels) and labels[index + 1] == "multiply":
             bits.append(1)
+            confidences.append(
+                min(step_confidences[index], step_confidences[index + 1])
+            )
             index += 2
         else:
             bits.append(0)
+            confidences.append(step_confidences[index])
             index += 1
+    return bits, confidences
+
+
+def decode_exponent_bits(labels: list[str]) -> list[int]:
+    """Decode without confidence tracking (see the scored variant above)."""
+    bits, _ = decode_exponent_with_confidence(labels)
     return bits
 
 
@@ -139,11 +162,22 @@ def run_rsa_attack(
     stepper = SgxStep(interval=1)
     stepper.run(victim.modexp(base, exponent, modulus), probe=probe, before_step=before)
 
-    recovered_bits = decode_exponent_bits(labels)
+    step_confidences = [obs.confidence for obs in classifier.observations]
+    recovered_bits, bit_confidences = decode_exponent_with_confidence(
+        labels, step_confidences
+    )
     true_bits = _exponent_bits(exponent)
     latency_trace = [
         (obs.latency_a, obs.latency_b) for obs in classifier.observations
     ]
+    mean_confidence = (
+        sum(bit_confidences) / len(bit_confidences) if bit_confidences else 0.0
+    )
+    reasons: list[str] = []
+    if not classifier.calibration_ok:
+        reasons.append("degenerate-calibration")
+    if mean_confidence < 0.5:
+        reasons.append("low-confidence")
     return RsaAttackResult(
         machine=machine,
         # Alignment-tolerant scoring: a single op misclassification costs
@@ -155,4 +189,8 @@ def run_rsa_attack(
         labels=labels,
         latency_trace=latency_trace,
         steps=stepper.trace.steps,
+        confidences=bit_confidences,
+        mean_confidence=mean_confidence,
+        degraded=bool(reasons),
+        degraded_reasons=tuple(reasons),
     )

@@ -12,25 +12,63 @@ machinery they are built from:
   of shared integrity-tree nodes;
 * :class:`~repro.attacks.metaleak_c.MetaLeakC` — mPreset+mOverflow write
   monitoring through tree-counter overflow;
-* covert channels built on each variant (Figures 11 and 14);
-* calibration and noise utilities.
+* covert channels built on each variant (Figures 11 and 14), with an
+  optional reliable framing layer (sync preambles, Hamming(7,4) + CRC-8,
+  bounded ARQ) in :mod:`~repro.attacks.framing`;
+* calibration, adaptive-threshold resilience and noise utilities.
 """
 
 from repro.attacks.calibration import LatencyCalibrator
-from repro.attacks.covert import CovertChannelC, CovertChannelT
+from repro.attacks.covert import ChannelReport, CovertChannelC, CovertChannelT
+from repro.attacks.framing import (
+    BitSymbolAdapter,
+    FramedReport,
+    ReliableChannel,
+    crc8,
+    decode_stream,
+    encode_frame,
+    hamming74_decode,
+    hamming74_encode,
+)
 from repro.attacks.mapping import MetadataEvictor, MetadataMapper
-from repro.attacks.metaleak_c import MetaLeakC
-from repro.attacks.metaleak_t import MetaLeakT, TreeNodeMonitor
+from repro.attacks.metaleak_c import MetaLeakC, OverflowScan
+from repro.attacks.metaleak_t import MetaLeakT, ReloadObservation, TreeNodeMonitor
 from repro.attacks.noise import NoiseProcess
+from repro.attacks.resilience import (
+    MIN_CALIBRATION_QUALITY,
+    AdaptiveThresholdTracker,
+    BandStats,
+    Calibration,
+    score_calibration,
+)
+from repro.attacks.search import EvictionSetSearch, SearchOutcome
 
 __all__ = [
-    "LatencyCalibrator",
+    "AdaptiveThresholdTracker",
+    "BandStats",
+    "BitSymbolAdapter",
+    "Calibration",
+    "ChannelReport",
     "CovertChannelC",
     "CovertChannelT",
+    "EvictionSetSearch",
+    "FramedReport",
+    "LatencyCalibrator",
+    "MIN_CALIBRATION_QUALITY",
     "MetadataEvictor",
     "MetadataMapper",
     "MetaLeakC",
     "MetaLeakT",
-    "TreeNodeMonitor",
     "NoiseProcess",
+    "OverflowScan",
+    "ReliableChannel",
+    "ReloadObservation",
+    "SearchOutcome",
+    "TreeNodeMonitor",
+    "crc8",
+    "decode_stream",
+    "encode_frame",
+    "hamming74_decode",
+    "hamming74_encode",
+    "score_calibration",
 ]

@@ -25,6 +25,15 @@ class LatencyCalibrator:
         core: int = 0,
         samples: int = 32,
     ) -> None:
+        if samples <= 0:
+            raise ValueError(
+                f"samples must be positive, got {samples}: the calibrator "
+                "needs at least one observation per latency band"
+            )
+        if not 0 <= core < proc.config.cores:
+            raise ValueError(
+                f"core {core} out of range for a {proc.config.cores}-core machine"
+            )
         self.proc = proc
         self.allocator = allocator
         self.core = core

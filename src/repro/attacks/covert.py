@@ -18,26 +18,46 @@ from dataclasses import dataclass, field
 
 from repro.config import PAGE_SIZE
 from repro.attacks.metaleak_c import MetaLeakC, SharedCounterHandle
-from repro.attacks.metaleak_t import MetaLeakT, TreeNodeMonitor
+from repro.attacks.metaleak_t import MetaLeakT
 from repro.attacks.noise import NoiseProcess
+from repro.attacks.resilience import MIN_CALIBRATION_QUALITY, mean_confidence
 from repro.os.page_alloc import PageAllocator
 from repro.proc.processor import SecureProcessor
 from repro.utils.stats import accuracy
+from repro.utils.watchdog import CycleBudget, ensure_budget
 
 
 @dataclass
 class ChannelReport:
-    """Outcome of one covert transmission."""
+    """Outcome of one covert transmission.
+
+    ``confidences`` carries one honest score per received bit/symbol
+    (vote margin × calibration quality for the T channel, overflow
+    observability for the C channel).  ``degraded`` flags receptions the
+    channel itself does not trust — the reasons name why (degenerate
+    calibration, exhausted cycle budget, lost sync, low confidence) —
+    and ``truncated`` marks receptions cut short by a cycle budget, in
+    which case ``received`` is shorter than ``sent``.
+    """
 
     sent: list[int]
     received: list[int]
     cycles: int
     sync_errors: int = 0
     latencies: list[int] = field(default_factory=list)
+    confidences: list[float] = field(default_factory=list)
+    rounds: int = 0
+    truncated: bool = False
+    degraded: bool = False
+    degraded_reasons: tuple[str, ...] = ()
 
     @property
     def accuracy(self) -> float:
         return accuracy(self.received, self.sent)
+
+    @property
+    def mean_confidence(self) -> float:
+        return mean_confidence(self.confidences)
 
     def bits_per_kilocycle(self, bits_per_symbol: int = 1) -> float:
         if self.cycles == 0:
@@ -62,6 +82,7 @@ class CovertChannelT:
         self.allocator = allocator
         self.trojan_core = trojan_core
         self.spy_core = spy_core
+        self.level = level
         self.noise = noise
         attack = MetaLeakT(proc, allocator, core=spy_core)
         self.attack = attack
@@ -115,35 +136,115 @@ class CovertChannelT:
         self.proc.flush(addr)
         self.proc.read(addr, core=self.trojan_core)
 
-    def transmit(self, bits: list[int]) -> ChannelReport:
-        """Run the full protocol for ``bits``; returns the spy's view."""
+    def _round(self, bit: int) -> tuple[int, bool, bool, float]:
+        """One protocol round; returns (latency, tx_seen, boundary_seen,
+        per-round confidence from the transmission monitor)."""
+        self.tx_monitor.m_evict()
+        self.bd_monitor.m_evict()
+        if self.noise is not None:
+            self.noise.step()
+        if bit:
+            self._trojan_access(self._trojan_tx)
+        self._trojan_access(self._trojan_bd)
+        if self.noise is not None:
+            self.noise.step()
+        _, boundary_seen = self.bd_monitor.m_reload()
+        latency, tx_seen = self.tx_monitor.m_reload()
+        return latency, tx_seen, boundary_seen, self.tx_monitor.last_confidence
+
+    def transmit(
+        self,
+        bits: list[int],
+        *,
+        votes: int = 1,
+        max_extra_votes: int = 0,
+        budget: "CycleBudget | int | None" = None,
+    ) -> ChannelReport:
+        """Run the full protocol for ``bits``; returns the spy's view.
+
+        ``votes`` repeats each bit's round and decodes by majority; the
+        vote margin becomes the per-bit confidence.  Ambiguous bits (tied
+        or one-vote margins) are re-probed up to ``max_extra_votes``
+        additional rounds.  ``budget`` (cycles) bounds the whole
+        transmission: on expiry the reception is truncated, never stuck.
+        """
+        if votes < 1:
+            raise ValueError(f"votes must be >= 1, got {votes}")
+        if max_extra_votes < 0:
+            raise ValueError(
+                f"max_extra_votes must be >= 0, got {max_extra_votes}"
+            )
+        budget = ensure_budget(self.proc, budget)
         received: list[int] = []
         latencies: list[int] = []
+        confidences: list[float] = []
         sync_errors = 0
+        rounds = 0
+        truncated = False
         start = self.proc.cycle
         for bit in bits:
-            self.tx_monitor.m_evict()
-            self.bd_monitor.m_evict()
-            if self.noise is not None:
-                self.noise.step()
-            if bit:
-                self._trojan_access(self._trojan_tx)
-            self._trojan_access(self._trojan_bd)
-            if self.noise is not None:
-                self.noise.step()
-            _, boundary_seen = self.bd_monitor.m_reload()
-            latency, tx_seen = self.tx_monitor.m_reload()
-            if not boundary_seen:
-                sync_errors += 1
-            received.append(int(tx_seen))
-            latencies.append(latency)
-        return ChannelReport(
+            if budget.expired:
+                truncated = True
+                break
+            ones = 0
+            zeros = 0
+            round_confidences: list[float] = []
+            extra_left = max_extra_votes
+            last_latency = 0
+            while True:
+                latency, tx_seen, boundary_seen, conf = self._round(bit)
+                rounds += 1
+                last_latency = latency
+                if not boundary_seen:
+                    sync_errors += 1
+                if tx_seen:
+                    ones += 1
+                else:
+                    zeros += 1
+                round_confidences.append(conf)
+                if ones + zeros < votes:
+                    if budget.expired:
+                        truncated = True
+                        break
+                    continue
+                margin = abs(ones - zeros)
+                ambiguous = margin == 0 or (votes > 1 and margin == 1)
+                if ambiguous and extra_left > 0 and not budget.expired:
+                    extra_left -= 1
+                    continue
+                break
+            total_votes = ones + zeros
+            value = int(ones > zeros) if ones != zeros else int(tx_seen)
+            vote_margin = abs(ones - zeros) / max(1, total_votes)
+            received.append(value)
+            latencies.append(last_latency)
+            confidences.append(vote_margin * mean_confidence(round_confidences))
+        report = ChannelReport(
             sent=list(bits),
             received=received,
             cycles=self.proc.cycle - start,
             sync_errors=sync_errors,
             latencies=latencies,
+            confidences=confidences,
+            rounds=rounds,
+            truncated=truncated,
         )
+        reasons: list[str] = []
+        calibration_quality = min(
+            self.tx_monitor.calibration.quality,
+            self.bd_monitor.calibration.quality,
+        )
+        if calibration_quality < MIN_CALIBRATION_QUALITY:
+            reasons.append("degenerate-calibration")
+        if truncated:
+            reasons.append("budget")
+        if received and report.mean_confidence < 0.5:
+            reasons.append("low-confidence")
+        if rounds and sync_errors > 0.2 * rounds:
+            reasons.append("sync")
+        report.degraded = bool(reasons)
+        report.degraded_reasons = tuple(reasons)
+        return report
 
 
 class CovertChannelC:
@@ -189,30 +290,86 @@ class CovertChannelC:
 
     # ------------------------------------------------------------------
 
-    def transmit(self, symbols: list[int]) -> ChannelReport:
-        """Send 7-bit symbols; spy decodes via counts-to-overflow."""
+    def transmit(
+        self,
+        symbols: list[int],
+        *,
+        budget: "CycleBudget | int | None" = None,
+    ) -> ChannelReport:
+        """Send 7-bit symbols; spy decodes via counts-to-overflow.
+
+        A symbol whose overflow tell never shows is reported as ``-1``
+        with zero confidence (instead of raising from deep inside the
+        loop); the spy then re-syncs the counter with a fresh reset.  A
+        cycle ``budget`` truncates the transmission rather than letting
+        a noise-swallowed overflow livelock the scan.
+        """
         for symbol in symbols:
             if not 0 <= symbol <= self.max_symbol:
                 raise ValueError(
                     f"symbol {symbol} out of range 0..{self.max_symbol}"
                 )
+        budget = ensure_budget(self.proc, budget)
         received: list[int] = []
+        confidences: list[float] = []
+        sync_errors = 0
+        truncated = False
         start = self.proc.cycle
         # Initial mPreset: one overflow leaves the counter at a known 1.
-        self.spy_handle.reset()
+        sync = self.spy_handle.scan_to_overflow(budget=budget)
+        if not sync.fired:
+            return ChannelReport(
+                sent=list(symbols),
+                received=[],
+                cycles=self.proc.cycle - start,
+                sync_errors=1,
+                truncated=sync.aborted,
+                degraded=True,
+                degraded_reasons=("lost-sync",)
+                + (("budget",) if sync.aborted else ()),
+            )
         # After an overflow the counter restarts at 1; the trojan adds s
         # and the spy's m-th bump fires the next overflow when 1+s+(m-1)
         # reaches the 127 saturation point, i.e. s = minor_max - m.
         saturate = self.spy_handle.minor_max
         for symbol in symbols:
+            if budget.expired:
+                truncated = True
+                break
             for _ in range(symbol):
                 self.trojan_handle.bump()
             if self.noise is not None:
                 self.noise.step()
-            extra = self.spy_handle.count_to_overflow()
-            received.append(saturate - extra)
-        return ChannelReport(
+            scan = self.spy_handle.scan_to_overflow(budget=budget)
+            if scan.fired:
+                received.append(saturate - scan.bumps)
+                confidences.append(1.0)
+                continue
+            # Missed overflow: the counter state is unknown.  Emit an
+            # erasure and re-sync before the next symbol.
+            received.append(-1)
+            confidences.append(0.0)
+            sync_errors += 1
+            if scan.aborted:
+                truncated = True
+                break
+            resync = self.spy_handle.scan_to_overflow(budget=budget)
+            if not resync.fired:
+                break
+        truncated = truncated or len(received) < len(symbols)
+        report = ChannelReport(
             sent=list(symbols),
             received=received,
             cycles=self.proc.cycle - start,
+            sync_errors=sync_errors,
+            confidences=confidences,
+            truncated=truncated,
         )
+        reasons: list[str] = []
+        if sync_errors:
+            reasons.append("lost-sync")
+        if budget.expired:
+            reasons.append("budget")
+        report.degraded = bool(reasons)
+        report.degraded_reasons = tuple(reasons)
+        return report

@@ -12,7 +12,7 @@ perform on its own memory.
 
 from __future__ import annotations
 
-from repro.config import BLOCK_SIZE, PAGE_SIZE
+from repro.config import BLOCK_SIZE
 from repro.mem.block import block_address, page_index
 from repro.os.page_alloc import PageAllocator
 from repro.proc.processor import SecureProcessor

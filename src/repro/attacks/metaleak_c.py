@@ -27,12 +27,13 @@ dramatically higher latency band (Figure 8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import BLOCK_SIZE, PAGE_SIZE, TreeKind, TreeUpdatePolicy
 from repro.attacks.mapping import MetadataEvictor, MetadataMapper
 from repro.os.page_alloc import PageAllocator
 from repro.proc.processor import SecureProcessor
+from repro.utils.watchdog import CycleBudget, ensure_budget
 
 # A quiet metadata-path read stays under ~1000 cycles even with queueing;
 # the smallest overflow burst (leaf level: 33 blocks re-hashed) exceeds it
@@ -46,6 +47,23 @@ class CounterAttackStats:
     overflows_observed: int = 0
     resets: int = 0
     presets: int = 0
+
+
+@dataclass(frozen=True)
+class OverflowScan:
+    """Structured outcome of one bump-until-overflow scan.
+
+    ``fired`` distinguishes a real overflow from a scan that gave up —
+    either because the bump limit was reached (the counter is not shared
+    as expected, or noise swallowed the tell) or because the cycle
+    budget expired mid-scan (``aborted``).  Callers that cannot tolerate
+    a miss keep using the raising wrappers; resilient callers branch on
+    ``fired`` and degrade instead of dying.
+    """
+
+    fired: bool
+    bumps: int
+    aborted: bool = False
 
 
 class SharedCounterHandle:
@@ -141,6 +159,29 @@ class SharedCounterHandle:
     # The three attack steps
     # ------------------------------------------------------------------
 
+    def scan_to_overflow(
+        self,
+        *,
+        max_bumps: int | None = None,
+        budget: "CycleBudget | int | None" = None,
+    ) -> OverflowScan:
+        """Bump until overflow, a bump limit, or budget expiry.
+
+        The non-raising core of :meth:`reset` / :meth:`count_to_overflow`:
+        always returns an :class:`OverflowScan` so resilient callers can
+        degrade gracefully when the overflow tell never shows (and never
+        livelock — the bump limit and the cycle budget both bound the
+        scan).
+        """
+        budget = ensure_budget(self.proc, budget)
+        limit = max_bumps or (self.minor_max + 2)
+        for spent in range(1, limit + 1):
+            if budget.expired:
+                return OverflowScan(fired=False, bumps=spent - 1, aborted=True)
+            if self.bump():
+                return OverflowScan(fired=True, bumps=spent)
+        return OverflowScan(fired=False, bumps=limit)
+
     def reset(self, *, max_bumps: int | None = None) -> int:
         """mPreset phase 1: bump until overflow; counter is then known.
 
@@ -149,13 +190,13 @@ class SharedCounterHandle:
         number of bumps spent.
         """
         self.stats.resets += 1
-        limit = max_bumps or (self.minor_max + 2)
-        for spent in range(1, limit + 1):
-            if self.bump():
-                return spent
-        raise RuntimeError(
-            f"no overflow after {limit} bumps: counter not shared as expected"
-        )
+        scan = self.scan_to_overflow(max_bumps=max_bumps)
+        if not scan.fired:
+            raise RuntimeError(
+                f"no overflow after {scan.bumps} bumps: counter not shared "
+                "as expected"
+            )
+        return scan.bumps
 
     def preset(self, value: int) -> None:
         """mPreset phase 2: move the (just-reset) counter to ``value``."""
@@ -199,11 +240,10 @@ class SharedCounterHandle:
         Fewer bumps than armed for means the victim wrote; the difference
         is the victim's write count.
         """
-        limit = max_bumps or (self.minor_max + 2)
-        for spent in range(1, limit + 1):
-            if self.bump():
-                return spent
-        raise RuntimeError(f"no overflow after {limit} bumps")
+        scan = self.scan_to_overflow(max_bumps=max_bumps)
+        if not scan.fired:
+            raise RuntimeError(f"no overflow after {scan.bumps} bumps")
+        return scan.bumps
 
     # -- ground truth for tests (not attacker-visible) ---------------------
 

@@ -22,9 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import PAGE_SIZE
-from repro.mem.block import page_index
-from repro.attacks.calibration import LatencyCalibrator
 from repro.attacks.mapping import MetadataEvictor, MetadataMapper
+from repro.attacks.resilience import (
+    AdaptiveThresholdTracker,
+    Calibration,
+    score_calibration,
+)
 from repro.os.page_alloc import PageAllocator
 from repro.proc.processor import SecureProcessor
 
@@ -35,6 +38,17 @@ class MonitorStats:
     hits: int = 0
     evict_accesses: int = 0
     latencies: list[int] = field(default_factory=list)
+    recalibrations: int = 0
+    rejected_recalibrations: int = 0
+
+
+@dataclass(frozen=True)
+class ReloadObservation:
+    """One scored mReload: latency, decision, and honest confidence."""
+
+    latency: int
+    hit: bool
+    confidence: float
 
 
 class TreeNodeMonitor:
@@ -50,12 +64,19 @@ class TreeNodeMonitor:
         extra_evict: tuple[int, ...] = (),
         threshold: float | None = None,
         core: int = 0,
+        adaptive: bool = False,
+        calibration_samples: int = 8,
     ) -> None:
+        if calibration_samples <= 0:
+            raise ValueError(
+                f"calibration_samples must be positive, got {calibration_samples}"
+            )
         self.proc = proc
         self.evictor = evictor
         self.node_addr = node_addr
         self.probe_block = probe_block
         self.core = core
+        self._calibration_samples = calibration_samples
         mapper = evictor.mapper
         self._evict_list = (
             node_addr,
@@ -71,21 +92,33 @@ class TreeNodeMonitor:
             if mapper.meta_set_of(addr) != mapper.meta_set_of(node_addr)
         )
         self.stats = MonitorStats()
-        self.threshold = (
-            threshold if threshold is not None else self.calibrate()
+        self.last_confidence = 0.0
+        # The bands are always profiled, even under a caller-supplied
+        # threshold: a forced threshold that does not sit between the
+        # measured bands scores quality 0, and every reload scored
+        # against it reports zero confidence instead of fabricated
+        # certainty.
+        fast, slow = self._band_samples(calibration_samples)
+        self.calibration: Calibration = score_calibration(
+            fast, slow, threshold=threshold
+        )
+        self.threshold = self.calibration.threshold
+        self.tracker: AdaptiveThresholdTracker | None = (
+            AdaptiveThresholdTracker(self.calibration) if adaptive else None
         )
 
-    def calibrate(self, samples: int = 8) -> float:
+    def _band_samples(self, samples: int) -> tuple[list[int], list[int]]:
         """Self-profile the fast/slow reload bands on this very probe.
 
         The attacker produces both node states itself: a full mEvict makes
         the next reload slow (node fetched from memory); a reload right
         after — with only the probe's counter re-evicted — is fast (node
-        just cached).  Otsu's threshold splits the two samples.  Profiling
-        on the actual probe block keeps machine-specific effects (bank
-        conflicts on this address, row state) inside the calibration.
+        just cached).  Profiling on the actual probe block keeps
+        machine-specific effects (bank conflicts on this address, row
+        state) inside the calibration.
         """
-        fast, slow = [], []
+        fast: list[int] = []
+        slow: list[int] = []
         for _ in range(samples):
             self.evictor.evict(self._evict_list)
             self.proc.flush(self.probe_block)
@@ -95,9 +128,34 @@ class TreeNodeMonitor:
             self.proc.flush(self.probe_block)
             self.proc.quiesce()
             fast.append(self.proc.read(self.probe_block, core=self.core).latency)
-        # Midpoint of the band means: symmetric margins on both sides, so
-        # measurement jitter costs the same in either direction.
-        return (sum(fast) / len(fast) + sum(slow) / len(slow)) / 2
+        return fast, slow
+
+    def calibrate(self, samples: int = 8) -> float:
+        """Re-profile the bands and adopt a fresh threshold if usable.
+
+        The midpoint of the band means gives symmetric margins on both
+        sides, so measurement jitter costs the same in either direction.
+        A degenerate re-calibration (overlapping bands) is *rejected* —
+        the previous calibration stays in force and the rejection is
+        counted in :attr:`MonitorStats.rejected_recalibrations`.
+        """
+        if samples <= 0:
+            raise ValueError(f"calibration samples must be positive, got {samples}")
+        fast, slow = self._band_samples(samples)
+        fresh = score_calibration(fast, slow)
+        if fresh.ok:
+            self.calibration = fresh
+            self.threshold = fresh.threshold
+            self.stats.recalibrations += 1
+            if self.tracker is not None:
+                self.tracker.rebase(fresh)
+        else:
+            self.stats.rejected_recalibrations += 1
+            if self.tracker is not None:
+                # Restart the drift window so a bad patch of samples does
+                # not immediately re-fire the detector.
+                self.tracker.rebase(self.calibration)
+        return self.threshold
 
     def m_evict(self) -> None:
         """Step 1: push the shared node (and probe counter) off-chip."""
@@ -113,7 +171,19 @@ class TreeNodeMonitor:
         self.stats.rounds += 1
         self.stats.hits += int(hit)
         self.stats.latencies.append(latency)
+        self.last_confidence = self.calibration.confidence(latency)
+        if self.tracker is not None and self.tracker.observe(
+            latency, self.threshold
+        ):
+            self.calibrate(self._calibration_samples)
         return latency, hit
+
+    def m_reload_scored(self) -> ReloadObservation:
+        """:meth:`m_reload` plus the per-observation confidence score."""
+        latency, hit = self.m_reload()
+        return ReloadObservation(
+            latency=latency, hit=hit, confidence=self.last_confidence
+        )
 
 
 class MetaLeakT:
@@ -126,12 +196,14 @@ class MetaLeakT:
         *,
         core: int = 0,
         threshold: float | None = None,
+        adaptive: bool = False,
     ) -> None:
         self.proc = proc
         self.allocator = allocator
         self.core = core
         self.mapper = MetadataMapper(proc)
         self._threshold = threshold
+        self.adaptive = adaptive
         # One evictor shared by all monitors: its protected region grows as
         # monitors are added, so eviction traffic for one monitored node
         # never strays under another monitored node's subtree.
@@ -165,6 +237,8 @@ class MetaLeakT:
         *,
         level: int = 0,
         probe_frame: int | None = None,
+        adaptive: bool | None = None,
+        calibration_samples: int = 8,
     ) -> TreeNodeMonitor:
         """Build a monitor for victim activity on one physical page.
 
@@ -206,5 +280,7 @@ class MetaLeakT:
             extra_evict=extra,
             threshold=self._threshold,
             core=self.core,
+            adaptive=self.adaptive if adaptive is None else adaptive,
+            calibration_samples=calibration_samples,
         )
 

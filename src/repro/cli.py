@@ -22,6 +22,13 @@ Commands
     machines and print the tamper-detection coverage matrix.  Exits
     non-zero unless every protected-state corruption was detected with
     zero false positives.
+
+``channel [--bits N] [--noise READS] [--votes V] [--retries R]
+[--budget CYCLES] [--gate ACC] [--seed S]``
+    One ECC-framed covert transmission under a conflicting co-runner:
+    the noisy-channel smoke test.  Prints raw vs post-ECC accuracy,
+    goodput and degradation flags; exits non-zero if the framed payload
+    accuracy falls below ``--gate``.
 """
 
 from __future__ import annotations
@@ -43,12 +50,14 @@ _FIGURE_DOC = {
     "fig16": "Fig. 16 — RSA exponent recovery",
     "fig17": "Fig. 17 — mbedTLS shift/sub detection",
     "fig18": "Fig. 18 — MIRAGE randomized-cache study",
+    "case_kvstore": "Case study — kvstore bucket recovery (MetaLeak-C)",
     "ablation_counters": "Abl. A1 — counter-scheme overflow scope",
     "ablation_policy": "Abl. A2 — lazy vs eager tree updates",
     "ablation_defenses": "Abl. A3 — defenses vs MetaLeak-T",
     "ablation_trees": "Abl. A4 — MetaLeak-T across HT/SCT/SIT",
     "ablation_mac": "Abl. A5 — MAC placement (Synergy vs classical)",
     "ablation_split": "Abl. A6 — combined vs split metadata caches",
+    "sweep_ecc": "Sweep S6 — raw vs ECC-framed covert channels under noise",
 }
 
 # Reduced-scale keyword arguments for --quick runs.
@@ -63,8 +72,10 @@ _QUICK_KWARGS = {
     "fig16": {"exponent_bits": 48},
     "fig17": {"secret_bits": 48},
     "fig18": {"access_counts": (2000, 8000), "trials": 8},
+    "case_kvstore": {"puts": 4, "buckets": 3},
     "ablation_policy": {"bits": 16},
     "ablation_defenses": {"bits": 16},
+    "sweep_ecc": {"intensities": (0, 2), "bits": 16, "include_c": False},
 }
 
 
@@ -151,6 +162,58 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0 if report.status == "pass" else 1
 
 
+def _cmd_channel(args: argparse.Namespace) -> int:
+    from repro.attacks.covert import CovertChannelT
+    from repro.attacks.framing import ReliableChannel
+    from repro.attacks.noise import co_located_noise
+    from repro.config import MIB, PAGE_SIZE, SecureProcessorConfig
+    from repro.os import PageAllocator
+    from repro.proc import SecureProcessor
+    from repro.utils.rng import derive_rng
+
+    rng = derive_rng(args.seed, "cli-channel")
+    payload = [rng.randint(0, 1) for _ in range(args.bits)]
+    proc = SecureProcessor(
+        SecureProcessorConfig.sct_default(
+            protected_size=128 * MIB, functional_crypto=False
+        )
+    )
+    allocator = PageAllocator(
+        proc.layout.data_size // PAGE_SIZE, cores=proc.config.cores
+    )
+    channel = CovertChannelT(proc, allocator)
+    if args.noise:
+        channel.noise = co_located_noise(
+            channel, allocator, reads_per_step=args.noise
+        )
+    raw = channel.transmit(payload)
+    framed = ReliableChannel(channel).send(
+        payload,
+        max_retries=args.retries,
+        votes=args.votes,
+        budget=args.budget,
+    )
+    print(f"payload bits     : {args.bits}")
+    print(f"noise reads/step : {args.noise}")
+    print(f"raw accuracy     : {raw.accuracy:.4f}")
+    print(f"raw wire BER     : {framed.raw_ber:.4f}")
+    print(f"ECC accuracy     : {framed.payload_accuracy:.4f}")
+    print(f"goodput          : {framed.goodput_bits_per_kilocycle:.4f} bits/kcycle")
+    print(f"frames delivered : {framed.frames_delivered}/{len(framed.delivered)} "
+          f"(retransmissions={framed.retransmissions}, "
+          f"corrected bits={framed.corrected_bits})")
+    if framed.degraded:
+        print(f"degraded         : {', '.join(framed.degraded_reasons)}")
+    if framed.payload_accuracy < args.gate:
+        print(
+            f"FAIL: ECC payload accuracy {framed.payload_accuracy:.4f} "
+            f"below gate {args.gate}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.config import preset_names
     from repro.faults import campaign_figure_result, run_campaign
@@ -231,6 +294,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--seed", type=int, default=2024)
     faults.set_defaults(func=_cmd_faults)
+
+    channel = commands.add_parser(
+        "channel", help="run one ECC-framed covert transmission under noise"
+    )
+    channel.add_argument(
+        "--bits", type=int, default=32, help="payload length in bits"
+    )
+    channel.add_argument(
+        "--noise", type=int, default=2, metavar="READS",
+        help="conflicting co-runner intensity in reads/step (0 = quiet)",
+    )
+    channel.add_argument(
+        "--votes", type=int, default=3,
+        help="majority-vote repetitions per wire bit",
+    )
+    channel.add_argument(
+        "--retries", type=int, default=8,
+        help="maximum ARQ retransmission rounds",
+    )
+    channel.add_argument(
+        "--budget", type=int, default=None, metavar="CYCLES",
+        help="cycle budget for the whole exchange (default: unlimited)",
+    )
+    channel.add_argument(
+        "--gate", type=float, default=0.99,
+        help="minimum framed payload accuracy; below it exits non-zero",
+    )
+    channel.add_argument("--seed", type=int, default=21)
+    channel.set_defaults(func=_cmd_channel)
     return parser
 
 

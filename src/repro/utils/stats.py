@@ -63,13 +63,21 @@ def accuracy(predicted: Sequence[object], actual: Sequence[object]) -> float:
     scores truncated covert-channel receptions.
     """
     if not actual:
-        raise ValueError("actual sequence must be non-empty")
+        raise ValueError(
+            "accuracy over an empty reference sequence is undefined: "
+            "nothing was sent, so there is nothing to score against"
+        )
     matched = sum(1 for p, a in zip(predicted, actual) if p == a)
     return matched / len(actual)
 
 
 def bit_error_rate(predicted: Sequence[int], actual: Sequence[int]) -> float:
-    """1 - accuracy, for bit sequences."""
+    """1 - accuracy, for bit sequences.
+
+    Raises the same :class:`ValueError` as :func:`accuracy` when ``actual``
+    is empty — a BER over zero transmitted bits is meaningless, and
+    silently returning 0 or 1 would misreport a channel as perfect/broken.
+    """
     return 1.0 - accuracy(predicted, actual)
 
 
@@ -126,7 +134,10 @@ def otsu_threshold(values: Sequence[float], bins: int = 128) -> float:
         raise ValueError("cannot threshold an empty sample")
     low, high = data[0], data[-1]
     if low == high:
-        return low
+        raise ValueError(
+            f"cannot threshold a degenerate sample: all {len(data)} values "
+            f"equal {low} (one latency band, nothing to separate)"
+        )
     width = (high - low) / bins
     histogram = [0] * bins
     for value in data:

@@ -1,0 +1,94 @@
+"""Cycle-budget watchdogs for attack loops that must never livelock.
+
+Noise can keep re-evicting the state an attack loop is waiting on: an
+eviction-set reduction that never converges, an mOverflow scan whose
+overflow tell is drowned out, an ARQ loop retransmitting forever.  Every
+such loop in the attack layer accepts a :class:`CycleBudget` and aborts
+with a *partial, honestly-flagged* result when the budget runs out,
+instead of spinning or raising from deep inside the pipeline.
+
+The budget is denominated in simulated processor cycles (``proc.cycle``),
+the only clock the attacker model has, so budgets are deterministic and
+seed-reproducible like everything else in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class _CycleSource(Protocol):
+    @property
+    def cycle(self) -> int: ...  # pragma: no cover - structural typing only
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised by :meth:`CycleBudget.check` when the budget ran dry."""
+
+
+class CycleBudget:
+    """A watchdog over simulated cycles, started at construction time.
+
+    Loops poll :attr:`expired` (graceful abort) or call :meth:`check`
+    (raising abort, for callers that prefer exceptions).  A ``None``
+    budget is represented by :meth:`unlimited`, which never expires, so
+    call sites need no ``if budget is not None`` branching.
+    """
+
+    def __init__(self, proc: _CycleSource, max_cycles: int) -> None:
+        if max_cycles <= 0:
+            raise ValueError(
+                f"cycle budget must be positive, got {max_cycles}"
+            )
+        self._proc = proc
+        self.max_cycles = int(max_cycles)
+        self.start_cycle = proc.cycle
+
+    @classmethod
+    def unlimited(cls, proc: _CycleSource) -> "CycleBudget":
+        budget = cls.__new__(cls)
+        budget._proc = proc
+        budget.max_cycles = 0  # sentinel: never expires
+        budget.start_cycle = proc.cycle
+        return budget
+
+    @property
+    def unbounded(self) -> bool:
+        return self.max_cycles == 0
+
+    @property
+    def used(self) -> int:
+        return self._proc.cycle - self.start_cycle
+
+    @property
+    def remaining(self) -> int:
+        if self.unbounded:
+            return 2**63
+        return max(0, self.max_cycles - self.used)
+
+    @property
+    def expired(self) -> bool:
+        return not self.unbounded and self.used >= self.max_cycles
+
+    def check(self, context: str = "attack loop") -> None:
+        if self.expired:
+            raise BudgetExceeded(
+                f"{context}: cycle budget exhausted "
+                f"({self.used} used of {self.max_cycles})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.unbounded:
+            return f"CycleBudget(unlimited, used={self.used})"
+        return f"CycleBudget(max={self.max_cycles}, used={self.used})"
+
+
+def ensure_budget(
+    proc: _CycleSource, budget: "CycleBudget | int | None"
+) -> CycleBudget:
+    """Normalise a budget argument: int -> new budget, None -> unlimited."""
+    if budget is None:
+        return CycleBudget.unlimited(proc)
+    if isinstance(budget, CycleBudget):
+        return budget
+    return CycleBudget(proc, int(budget))

@@ -1,0 +1,119 @@
+"""Tests for the ECC framing layer (preamble sync, Hamming, CRC, ARQ)."""
+
+import pytest
+
+from repro.attacks.framing import (
+    DEFAULT_PAYLOAD_NIBBLES,
+    PREAMBLE,
+    crc8,
+    decode_stream,
+    encode_frame,
+    frame_payload_bits,
+    frame_wire_bits,
+    hamming74_decode,
+    hamming74_encode,
+)
+from repro.utils.rng import derive_rng
+
+
+class TestHamming:
+    def test_roundtrip_all_nibbles(self):
+        for nibble in range(16):
+            decoded, corrected = hamming74_decode(hamming74_encode(nibble))
+            assert decoded == nibble
+            assert corrected == 0
+
+    def test_corrects_every_single_bit_error(self):
+        for nibble in range(16):
+            codeword = hamming74_encode(nibble)
+            for position in range(7):
+                corrupted = list(codeword)
+                corrupted[position] ^= 1
+                decoded, corrected = hamming74_decode(corrupted)
+                assert decoded == nibble
+                assert corrected == 1
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            hamming74_encode(16)
+        with pytest.raises(ValueError):
+            hamming74_decode([0, 1, 0])
+
+
+class TestCrc8:
+    def test_detects_single_flip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+        reference = crc8(bits)
+        for position in range(len(bits)):
+            corrupted = list(bits)
+            corrupted[position] ^= 1
+            assert crc8(corrupted) != reference
+
+    def test_empty_is_defined(self):
+        assert crc8([]) == 0
+
+
+class TestFrames:
+    def test_wire_layout_arithmetic(self):
+        assert frame_wire_bits(DEFAULT_PAYLOAD_NIBBLES) == len(PREAMBLE) + 7 * 7
+        assert frame_payload_bits(DEFAULT_PAYLOAD_NIBBLES) == 16
+
+    def test_roundtrip_every_sequence_number(self):
+        rng = derive_rng(3, "framing-test")
+        for seq in range(16):
+            payload = [rng.randint(0, 1) for _ in range(16)]
+            frames = decode_stream(encode_frame(seq, payload))
+            assert len(frames) == 1
+            assert frames[0].seq == seq
+            assert list(frames[0].payload) == payload
+            assert frames[0].crc_ok
+
+    def test_single_bit_errors_are_corrected(self):
+        payload = [1, 0] * 8
+        wire = encode_frame(5, payload)
+        # One flip in two different codewords (past the preamble).
+        wire[len(PREAMBLE) + 1] ^= 1
+        wire[len(PREAMBLE) + 7 + 3] ^= 1
+        frames = decode_stream(wire)
+        assert len(frames) == 1
+        assert list(frames[0].payload) == payload
+        assert frames[0].crc_ok
+        assert frames[0].corrected_bits == 2
+
+    def test_resync_after_dropped_head_symbols(self):
+        """The receiver recovers framing after losing the stream's start."""
+        payload = [0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 1, 0, 1, 1]
+        wire = encode_frame(2, payload) + encode_frame(3, payload[::-1])
+        for dropped in (1, 5, 11):
+            frames = decode_stream(wire[dropped:])
+            # The first frame is gone; the second must still be found.
+            assert frames, f"no frames recovered after dropping {dropped} bits"
+            last = frames[-1]
+            assert last.seq == 3
+            assert list(last.payload) == payload[::-1]
+            assert last.crc_ok
+
+    def test_resync_after_garbage_prefix(self):
+        payload = [1] * 16
+        rng = derive_rng(9, "framing-garbage")
+        garbage = [rng.randint(0, 1) for _ in range(23)]
+        frames = decode_stream(garbage + encode_frame(7, payload))
+        assert any(f.seq == 7 and list(f.payload) == payload and f.crc_ok for f in frames)
+
+    def test_corrupt_frame_fails_crc_but_keeps_scanning(self):
+        payload = [0] * 16
+        first = encode_frame(1, payload)
+        # Trash two bits of one codeword: beyond Hamming's reach.
+        first[len(PREAMBLE) + 2] ^= 1
+        first[len(PREAMBLE) + 4] ^= 1
+        stream = first + encode_frame(2, payload)
+        frames = decode_stream(stream)
+        assert any(f.seq == 2 and f.crc_ok for f in frames)
+
+    def test_encode_validates_payload_length(self):
+        with pytest.raises(ValueError):
+            encode_frame(0, [1] * 17)
+        # Short payloads zero-pad (last chunk of a message) and sequence
+        # numbers wrap mod 16 (chunk index in a long message).
+        assert encode_frame(0, [1] * 15) == encode_frame(0, [1] * 15 + [0])
+        assert encode_frame(16, [1] * 16) == encode_frame(0, [1] * 16)

@@ -25,7 +25,6 @@ from repro.victims.jpeg import (
     ZIGZAG_ORDER,
 )
 from repro.victims.jpeg.huffman import (
-    AcSymbol,
     bit_category,
     encode_bitstream,
     run_length_decode,

@@ -1,6 +1,5 @@
 """Tests for DRAM timing, the memory controller, and address helpers."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

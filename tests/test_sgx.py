@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.config import MIB, PAGE_SIZE, SecureProcessorConfig
-from repro.sgx import Enclave, SgxMachine, SgxStep
+from repro.config import MIB, SecureProcessorConfig
+from repro.sgx import SgxMachine, SgxStep
 
 
 @pytest.fixture()

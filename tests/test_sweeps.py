@@ -1,6 +1,5 @@
 """Quick-scale tests for the design-space sweeps."""
 
-import pytest
 
 from repro.analysis.sweeps import (
     sweep_metadata_cache_size,

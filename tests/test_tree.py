@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import MIB, SecureProcessorConfig, TreeKind
+from repro.config import MIB, SecureProcessorConfig
 from repro.crypto.prf import keyed_prf
 from repro.secmem.counters import EncryptionCounterStore
 from repro.secmem.layout import MetadataLayout

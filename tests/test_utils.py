@@ -142,9 +142,18 @@ class TestStats:
         assert 100 < threshold < 500
 
     def test_otsu_degenerate(self):
-        assert otsu_threshold([42.0, 42.0]) == 42.0
-        with pytest.raises(ValueError):
+        # A uniform sample has a single band: there is no threshold to
+        # find, and returning any number would be silently meaningless.
+        with pytest.raises(ValueError, match="degenerate"):
+            otsu_threshold([42.0, 42.0])
+        with pytest.raises(ValueError, match="empty"):
             otsu_threshold([])
+
+    def test_accuracy_empty_reference_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy([1, 0], [])
+        with pytest.raises(ValueError, match="empty"):
+            bit_error_rate([], [])
 
     @given(
         st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=50),
