@@ -9,6 +9,7 @@ visualisation without a plotting dependency).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -41,7 +42,19 @@ def detect_bands(
     """
     if not latencies:
         raise ValueError("empty latency trace")
+    if not math.isfinite(gap) or gap <= 0:
+        raise ValueError(
+            f"gap must be a positive finite number of cycles, got {gap!r}: "
+            "a non-positive gap would put every distinct latency in its own "
+            "band, and NaN/inf gaps silently merge or never split bands"
+        )
     ordered = sorted(float(v) for v in latencies)
+    if not all(math.isfinite(v) for v in ordered):
+        raise ValueError(
+            "latency trace contains NaN or infinite values; filter the "
+            "sample before band detection (comparisons against NaN are "
+            "always false, which corrupts the band boundaries silently)"
+        )
     bands: list[Band] = []
     start = ordered[0]
     previous = ordered[0]

@@ -29,6 +29,20 @@ Commands
     the noisy-channel smoke test.  Prints raw vs post-ECC accuracy,
     goodput and degradation flags; exits non-zero if the framed payload
     accuracy falls below ``--gate``.
+
+``trace --victim NAME [--secret a|b] [--seed S] [--out FILE]
+[--chrome FILE] [--capacity N]``
+    Run one leakcheck victim under the structured event tracer and
+    export the metadata event stream as JSONL and/or Chrome
+    ``trace_event`` JSON (loadable in Perfetto / chrome://tracing).
+    Prints per-kind event counts and the machine counter snapshot.
+
+``leakcheck --victim NAME [--seed S] [--alpha P] [--json FILE]
+[--expect leaky|clean]``
+    Automated leakage detection: run the victim twice under paired
+    secrets with identical public inputs and diff the metadata event
+    streams (count + KS tests per event kind).  ``--expect`` turns the
+    verdict into an exit code for CI gating.
 """
 
 from __future__ import annotations
@@ -58,6 +72,7 @@ _FIGURE_DOC = {
     "ablation_mac": "Abl. A5 — MAC placement (Synergy vs classical)",
     "ablation_split": "Abl. A6 — combined vs split metadata caches",
     "sweep_ecc": "Sweep S6 — raw vs ECC-framed covert channels under noise",
+    "leakcheck": "Leakcheck — automated paired-secret leakage detection matrix",
 }
 
 # Reduced-scale keyword arguments for --quick runs.
@@ -76,6 +91,7 @@ _QUICK_KWARGS = {
     "ablation_policy": {"bits": 16},
     "ablation_defenses": {"bits": 16},
     "sweep_ecc": {"intensities": (0, 2), "bits": 16, "include_c": False},
+    "leakcheck": {"victims": ("rsa", "const")},
 }
 
 
@@ -236,6 +252,63 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if all_detected else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.config import SecureProcessorConfig
+    from repro.leakcheck import get_victim
+    from repro.proc import SecureProcessor
+    from repro.trace import Tracer, write_chrome_trace, write_jsonl
+
+    spec = get_victim(args.victim)
+    secrets = spec.secrets(args.seed)
+    secret = secrets[0] if args.secret == "a" else secrets[1]
+    proc = SecureProcessor(
+        SecureProcessorConfig.sct_default(functional_crypto=False)
+    )
+    tracer = Tracer(capacity=args.capacity)
+    proc.attach_tracer(tracer)
+    spec.run(proc, secret)
+    events = tracer.events()
+    print(f"victim={spec.name} secret={args.secret} seed={args.seed}: "
+          f"{len(events)} events ({tracer.dropped} dropped)")
+    for (component, kind), count in sorted(tracer.counts().items()):
+        print(f"  {component:<18} {kind:<16} {count}")
+    if args.out:
+        written = write_jsonl(events, args.out)
+        print(f"wrote {written} events to {args.out}")
+    if args.chrome:
+        write_chrome_trace(events, args.chrome)
+        print(f"wrote Chrome trace_event JSON to {args.chrome}")
+    snapshot = proc.registry.snapshot()
+    print("counters (non-zero):")
+    for path in sorted(snapshot):
+        if snapshot[path]:
+            print(f"  {path:<28} {snapshot[path]:g}")
+    return 0
+
+
+def _cmd_leakcheck(args: argparse.Namespace) -> int:
+    import pathlib as _pathlib
+
+    from repro.leakcheck import run_leakcheck
+
+    report = run_leakcheck(args.victim, seed=args.seed, alpha=args.alpha)
+    for line in report.summary_lines():
+        print(line)
+    if args.json:
+        _pathlib.Path(args.json).write_text(report.to_json() + "\n")
+        print(f"wrote report to {args.json}")
+    if args.expect is not None:
+        expected_leaky = args.expect == "leaky"
+        if report.leaky != expected_leaky:
+            print(
+                f"FAIL: expected {args.expect}, got "
+                f"{'leaky' if report.leaky else 'clean'}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.config import preset_names
 
@@ -323,6 +396,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     channel.add_argument("--seed", type=int, default=21)
     channel.set_defaults(func=_cmd_channel)
+
+    from repro.leakcheck.victims import victim_names
+
+    trace = commands.add_parser(
+        "trace", help="record and export a victim's metadata event stream"
+    )
+    trace.add_argument("--victim", choices=victim_names(), required=True)
+    trace.add_argument(
+        "--secret", choices=("a", "b"), default="a",
+        help="which of the paired secrets to run (default: a)",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", help="JSONL output path")
+    trace.add_argument(
+        "--chrome", help="Chrome trace_event JSON output path (Perfetto)"
+    )
+    trace.add_argument(
+        "--capacity", type=int, default=1 << 18,
+        help="tracer ring-buffer capacity in events",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    leakcheck = commands.add_parser(
+        "leakcheck", help="automated paired-secret leakage detection"
+    )
+    leakcheck.add_argument("--victim", choices=victim_names(), required=True)
+    leakcheck.add_argument("--seed", type=int, default=0)
+    leakcheck.add_argument(
+        "--alpha", type=float, default=0.01,
+        help="significance level for the per-kind KS tests",
+    )
+    leakcheck.add_argument("--json", help="write the full report as JSON")
+    leakcheck.add_argument(
+        "--expect", choices=("leaky", "clean"), default=None,
+        help="exit non-zero unless the verdict matches (CI gating)",
+    )
+    leakcheck.set_defaults(func=_cmd_leakcheck)
     return parser
 
 

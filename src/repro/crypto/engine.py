@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.config import BLOCK_SIZE
 from repro.crypto.prf import keyed_prf
+from repro.trace.counters import CounterRegistry
 
 CHUNK_SIZE = 16  # AES-128 block
 CHUNKS_PER_BLOCK = BLOCK_SIZE // CHUNK_SIZE
@@ -27,9 +28,15 @@ class CounterModeEngine:
         if not key:
             raise ValueError("encryption key must be non-empty")
         self._key = bytes(key)
+        self.counters = CounterRegistry()
+        self._pads = self.counters.counter("pads_generated")
+        self._block_ops = self.counters.counter("block_ops")
+        # Optional trace sink (see ``repro.trace``), attached by the MEE.
+        self.tracer = None
 
     def one_time_pad(self, block_addr: int, counter: int) -> bytes:
         """The 64-byte OTP for a block under a given counter value."""
+        self._pads.value += 1
         pad = bytearray()
         for chunk in range(CHUNKS_PER_BLOCK):
             chunk_addr = block_addr + chunk * CHUNK_SIZE
@@ -42,6 +49,9 @@ class CounterModeEngine:
         """Encrypt one 64-byte block."""
         if len(plaintext) != BLOCK_SIZE:
             raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(plaintext)}")
+        self._block_ops.value += 1
+        if self.tracer is not None:
+            self.tracer.emit("crypto", "block_op", addr=block_addr)
         pad = self.one_time_pad(block_addr, counter)
         return bytes(p ^ k for p, k in zip(plaintext, pad))
 

@@ -1,0 +1,19 @@
+"""Automated metadata-leakage detection (paired-secret trace diffing)."""
+
+from repro.leakcheck.detector import KindFinding, LeakReport, run_leakcheck
+from repro.leakcheck.victims import (
+    VICTIMS,
+    VictimSpec,
+    get_victim,
+    victim_names,
+)
+
+__all__ = [
+    "KindFinding",
+    "LeakReport",
+    "run_leakcheck",
+    "VICTIMS",
+    "VictimSpec",
+    "get_victim",
+    "victim_names",
+]

@@ -1,0 +1,266 @@
+"""Automated metadata-leakage detection over paired traces.
+
+The detector is a leakage-contract checker: run a victim twice under
+paired secrets with identical public inputs, on identically configured
+deterministic machines, and diff the two metadata event streams.  Any
+per-event-kind difference — in event *count*, or in the distribution of
+event values, addresses or inter-arrival times — is attributable to the
+secret, because nothing else differed between the runs.
+
+This rediscovers both MetaLeak channels from traces alone:
+
+* MetaLeak-T signals show up as count/value differences in the
+  ``mee``/``tree`` kinds (counter misses, tree-walk depths, node loads);
+* MetaLeak-C signals show up in ``memctrl``/``dram`` kinds (write-queue
+  enqueues, drains, bank addresses of serviced writes).
+
+Determinism (zero timer jitter, which is the config default) means a
+constant-time victim produces *identical* streams, so the clean verdict
+is exact rather than statistical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.config import SecureProcessorConfig
+from repro.leakcheck.victims import VictimSpec, get_victim
+from repro.proc.processor import SecureProcessor
+from repro.trace import TraceEvent, Tracer, group_by_kind
+from repro.utils.stats import ks_two_sample
+
+# Below this many events per side, KS p-values are too coarse to trust;
+# count mismatches still flag regardless of sample size.
+_MIN_KS_SAMPLES = 8
+
+
+@dataclass
+class KindFinding:
+    """Divergence evidence for one (component, kind) event stream."""
+
+    component: str
+    kind: str
+    count_a: int
+    count_b: int
+    flagged: bool = False
+    reasons: list[str] = field(default_factory=list)
+    # test name -> {"statistic": ..., "pvalue": ...}
+    tests: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "component": self.component,
+            "kind": self.kind,
+            "count_a": self.count_a,
+            "count_b": self.count_b,
+            "flagged": self.flagged,
+            "reasons": list(self.reasons),
+            "tests": {name: dict(res) for name, res in self.tests.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "KindFinding":
+        return cls(
+            component=str(data["component"]),
+            kind=str(data["kind"]),
+            count_a=int(data["count_a"]),
+            count_b=int(data["count_b"]),
+            flagged=bool(data["flagged"]),
+            reasons=[str(r) for r in data.get("reasons", [])],
+            tests={
+                str(name): {str(k): float(v) for k, v in res.items()}
+                for name, res in dict(data.get("tests", {})).items()
+            },
+        )
+
+
+@dataclass
+class LeakReport:
+    """The detector's verdict for one victim/seed pair."""
+
+    victim: str
+    seed: int
+    alpha: float
+    events_a: int
+    events_b: int
+    dropped_a: int
+    dropped_b: int
+    findings: list[KindFinding] = field(default_factory=list)
+
+    @property
+    def leaky(self) -> bool:
+        return any(finding.flagged for finding in self.findings)
+
+    @property
+    def flagged_findings(self) -> list[KindFinding]:
+        return [finding for finding in self.findings if finding.flagged]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "victim": self.victim,
+            "seed": self.seed,
+            "alpha": self.alpha,
+            "events_a": self.events_a,
+            "events_b": self.events_b,
+            "dropped_a": self.dropped_a,
+            "dropped_b": self.dropped_b,
+            "leaky": self.leaky,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "LeakReport":
+        return cls(
+            victim=str(data["victim"]),
+            seed=int(data["seed"]),
+            alpha=float(data["alpha"]),
+            events_a=int(data["events_a"]),
+            events_b=int(data["events_b"]),
+            dropped_a=int(data["dropped_a"]),
+            dropped_b=int(data["dropped_b"]),
+            findings=[
+                KindFinding.from_dict(item) for item in data.get("findings", [])
+            ],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LeakReport":
+        return cls.from_dict(json.loads(text))
+
+    def summary_lines(self) -> list[str]:
+        verdict = "LEAKY" if self.leaky else "clean"
+        lines = [
+            f"leakcheck: victim={self.victim} seed={self.seed} "
+            f"alpha={self.alpha} -> {verdict}",
+            f"  events: {self.events_a} vs {self.events_b} "
+            f"(dropped {self.dropped_a}/{self.dropped_b})",
+        ]
+        for finding in self.flagged_findings:
+            lines.append(
+                f"  {finding.component}/{finding.kind}: "
+                f"n={finding.count_a} vs {finding.count_b} "
+                f"[{', '.join(finding.reasons)}]"
+            )
+        return lines
+
+
+def _collect_trace(
+    spec: VictimSpec,
+    secret: object,
+    *,
+    config: SecureProcessorConfig,
+    capacity: int,
+) -> tuple[list[TraceEvent], int]:
+    proc = SecureProcessor(config)
+    tracer = Tracer(capacity=capacity)
+    proc.attach_tracer(tracer)
+    spec.run(proc, secret)
+    return tracer.events(), tracer.dropped
+
+
+def _stream_samples(events: list[TraceEvent]) -> dict[str, list[float]]:
+    """Per-dimension scalar samples of one event stream."""
+    samples: dict[str, list[float]] = {"value": [], "addr": [], "interarrival": []}
+    for event in events:
+        if event.value is not None:
+            samples["value"].append(float(event.value))
+        if event.addr is not None:
+            samples["addr"].append(float(event.addr))
+    cycles = [event.cycle for event in events]
+    samples["interarrival"] = [
+        float(b - a) for a, b in zip(cycles, cycles[1:])
+    ]
+    return samples
+
+
+def _compare_kind(
+    component: str,
+    kind: str,
+    events_a: list[TraceEvent],
+    events_b: list[TraceEvent],
+    alpha: float,
+) -> KindFinding:
+    finding = KindFinding(
+        component=component,
+        kind=kind,
+        count_a=len(events_a),
+        count_b=len(events_b),
+    )
+    if finding.count_a != finding.count_b:
+        finding.flagged = True
+        finding.reasons.append(
+            f"count {finding.count_a} != {finding.count_b}"
+        )
+    samples_a = _stream_samples(events_a)
+    samples_b = _stream_samples(events_b)
+    for dimension in ("value", "addr", "interarrival"):
+        sample_a = samples_a[dimension]
+        sample_b = samples_b[dimension]
+        if len(sample_a) < _MIN_KS_SAMPLES or len(sample_b) < _MIN_KS_SAMPLES:
+            continue
+        result = ks_two_sample(sample_a, sample_b)
+        finding.tests[dimension] = {
+            "statistic": result.statistic,
+            "pvalue": result.pvalue,
+        }
+        if result.pvalue < alpha:
+            finding.flagged = True
+            finding.reasons.append(
+                f"{dimension} KS p={result.pvalue:.3g} < {alpha}"
+            )
+    return finding
+
+
+def run_leakcheck(
+    victim: str | VictimSpec,
+    *,
+    seed: int = 0,
+    alpha: float = 0.01,
+    capacity: int = 1 << 18,
+    config: SecureProcessorConfig | None = None,
+) -> LeakReport:
+    """Run the paired-secret experiment and diff the event streams.
+
+    ``victim`` is a registry name (see ``repro.leakcheck.victims``) or a
+    user-supplied :class:`VictimSpec`.  The machine defaults to the SCT
+    preset with functional crypto off (timing/metadata behaviour is
+    unchanged; the detector only reads event streams) and zero timer
+    jitter, so the two runs are exactly reproducible.
+    """
+    spec = victim if isinstance(victim, VictimSpec) else get_victim(victim)
+    if config is None:
+        config = SecureProcessorConfig.sct_default(functional_crypto=False)
+    secret_a, secret_b = spec.secrets(seed)
+    events_a, dropped_a = _collect_trace(
+        spec, secret_a, config=config, capacity=capacity
+    )
+    events_b, dropped_b = _collect_trace(
+        spec, secret_b, config=config, capacity=capacity
+    )
+    grouped_a = group_by_kind(events_a)
+    grouped_b = group_by_kind(events_b)
+    report = LeakReport(
+        victim=spec.name,
+        seed=seed,
+        alpha=alpha,
+        events_a=len(events_a),
+        events_b=len(events_b),
+        dropped_a=dropped_a,
+        dropped_b=dropped_b,
+    )
+    for key in sorted(set(grouped_a) | set(grouped_b)):
+        component, kind = key
+        report.findings.append(
+            _compare_kind(
+                component,
+                kind,
+                grouped_a.get(key, []),
+                grouped_b.get(key, []),
+                alpha,
+            )
+        )
+    return report

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.config import CacheConfig
 from repro.mem.block import block_address
 from repro.mem.replacement import make_policy
+from repro.trace.counters import CounterRegistry
 from repro.utils.bitops import log2_exact
 
 
@@ -54,11 +55,39 @@ class SetAssocCache:
             _CacheSet(self.ways, self.replacement, seed + i)
             for i in range(self.num_sets)
         ]
-        self.hits = 0
-        self.misses = 0
+        self.counters = CounterRegistry()
+        self._hits = self.counters.counter("hits")
+        self._misses = self.counters.counter("misses")
+        self._fills = self.counters.counter("fills")
+        self._evictions = self.counters.counter("evictions")
+        self.counters.gauge("occupancy", self.occupancy)
+        self._component = f"cache.{config.name}"
         # Optional fault-injection observer (see ``repro.faults.hooks``);
         # notified on every miss fill so campaigns can corrupt fills.
         self.fault_hook = None
+        # Optional trace sink (see ``repro.trace``); None keeps every
+        # instrumented path down to a single attribute test.
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Legacy tally attributes (now registry-backed)
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
 
     # ------------------------------------------------------------------
     # Address mapping
@@ -83,9 +112,23 @@ class SetAssocCache:
         if way is not None:
             if touch:
                 cache_set.policy.on_access(way)
-            self.hits += 1
+            self._hits.value += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self._component,
+                    "hit",
+                    addr=block,
+                    set_index=self.set_index_of(block),
+                )
             return True
-        self.misses += 1
+        self._misses.value += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._component,
+                "miss",
+                addr=block,
+                set_index=self.set_index_of(block),
+            )
         return False
 
     def contains(self, addr: int) -> bool:
@@ -120,6 +163,24 @@ class SetAssocCache:
         cache_set.dirty[free_way] = dirty
         cache_set.index_of[block] = free_way
         cache_set.policy.on_fill(free_way)
+        self._fills.value += 1
+        if evicted_addr is not None:
+            self._evictions.value += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._component,
+                "fill",
+                addr=block,
+                set_index=self.set_index_of(block),
+            )
+            if evicted_addr is not None:
+                self.tracer.emit(
+                    self._component,
+                    "evict",
+                    addr=evicted_addr,
+                    set_index=self.set_index_of(block),
+                    value=float(evicted_dirty),
+                )
         if self.fault_hook is not None:
             self.fault_hook.on_cache_fill(self.config.name, block)
         return CacheAccess(

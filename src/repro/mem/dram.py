@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.config import DramConfig
 from repro.mem.block import bank_of
+from repro.trace.counters import CounterRegistry
 
 
 @dataclass
@@ -26,11 +27,37 @@ class DramModel:
     def __init__(self, config: DramConfig) -> None:
         self.config = config
         self._banks = [_BankState() for _ in range(config.banks)]
-        self.reads = 0
-        self.writes = 0
+        self.counters = CounterRegistry()
+        self._reads = self.counters.counter("reads")
+        self._writes = self.counters.counter("writes")
+        self._row_hits = self.counters.counter("row_hits")
+        self._row_misses = self.counters.counter("row_misses")
+        self.counters.gauge("max_busy_until", self.max_busy_until)
         # Optional fault-injection observer (see ``repro.faults.hooks``);
         # notified on every access so campaigns can trigger on DRAM events.
         self.fault_hook = None
+        # Optional trace sink (see ``repro.trace``).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Legacy tally attributes (now registry-backed)
+    # ------------------------------------------------------------------
+
+    @property
+    def reads(self) -> int:
+        return self._reads.value
+
+    @reads.setter
+    def reads(self, value: int) -> None:
+        self._reads.value = value
+
+    @property
+    def writes(self) -> int:
+        return self._writes.value
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self._writes.value = value
 
     def _row_of(self, addr: int) -> int:
         return addr // self.config.row_size
@@ -46,20 +73,32 @@ class DramModel:
         """
         if self.fault_hook is not None:
             self.fault_hook.on_dram_access(addr, now, is_write=is_write)
-        bank = self._banks[self.bank_of(addr)]
+        bank_index = self.bank_of(addr)
+        bank = self._banks[bank_index]
         wait = max(0, bank.busy_until - now)
         row = self._row_of(addr)
         if bank.open_row == row:
             service = self.config.row_hit_latency
+            self._row_hits.value += 1
         else:
             service = self.config.row_miss_latency
+            self._row_misses.value += 1
             bank.open_row = row
         latency = wait + service + self.config.bus_latency
         bank.busy_until = now + latency
         if is_write:
-            self.writes += 1
+            self._writes.value += 1
         else:
-            self.reads += 1
+            self._reads.value += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dram",
+                "write" if is_write else "read",
+                cycle=now,
+                addr=addr,
+                set_index=bank_index,
+                value=latency,
+            )
         return latency
 
     def occupy_bank(self, addr: int, now: int, duration: int) -> None:

@@ -25,6 +25,7 @@ from typing import Callable
 from repro.config import DramConfig, MemCtrlConfig
 from repro.mem.block import block_address
 from repro.mem.dram import DramModel
+from repro.trace.counters import CounterRegistry
 
 # Cycles to place a request into a controller queue.
 _ENQUEUE_LATENCY = 4
@@ -50,14 +51,62 @@ class MemoryController:
         self.dram = DramModel(dram_config)
         self._write_queue: dict[int, WriteQueueEntry] = {}
         self._write_sink: WriteSink | None = None
-        self.reads_serviced = 0
-        self.writes_serviced = 0
-        self.writes_merged = 0
-        self.drains = 0
-        self.writes_dropped = 0
+        self.counters = CounterRegistry()
+        self._reads_serviced = self.counters.counter("reads_serviced")
+        self._writes_serviced = self.counters.counter("writes_serviced")
+        self._writes_merged = self.counters.counter("writes_merged")
+        self._drains = self.counters.counter("drains")
+        self._writes_dropped = self.counters.counter("writes_dropped")
+        self.counters.gauge("write_queue_depth", self.pending_writes)
         # Optional fault-injection observer (see ``repro.faults.hooks``);
         # may drop or reorder the drain burst's entries.
         self.fault_hook = None
+        # Optional trace sink (see ``repro.trace``).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Legacy tally attributes (now registry-backed)
+    # ------------------------------------------------------------------
+
+    @property
+    def reads_serviced(self) -> int:
+        return self._reads_serviced.value
+
+    @reads_serviced.setter
+    def reads_serviced(self, value: int) -> None:
+        self._reads_serviced.value = value
+
+    @property
+    def writes_serviced(self) -> int:
+        return self._writes_serviced.value
+
+    @writes_serviced.setter
+    def writes_serviced(self, value: int) -> None:
+        self._writes_serviced.value = value
+
+    @property
+    def writes_merged(self) -> int:
+        return self._writes_merged.value
+
+    @writes_merged.setter
+    def writes_merged(self, value: int) -> None:
+        self._writes_merged.value = value
+
+    @property
+    def drains(self) -> int:
+        return self._drains.value
+
+    @drains.setter
+    def drains(self, value: int) -> None:
+        self._drains.value = value
+
+    @property
+    def writes_dropped(self) -> int:
+        return self._writes_dropped.value
+
+    @writes_dropped.setter
+    def writes_dropped(self, value: int) -> None:
+        self._writes_dropped.value = value
 
     def set_write_sink(self, sink: WriteSink) -> None:
         """Install the security-engine callback run when a write services."""
@@ -71,9 +120,19 @@ class MemoryController:
         """Service a block read at cycle ``now``; return its latency."""
         block = block_address(addr)
         if block in self._write_queue:
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "memctrl", "read_forward", cycle=now, addr=block,
+                    value=_FORWARD_LATENCY,
+                )
             return _FORWARD_LATENCY
-        self.reads_serviced += 1
-        return _ENQUEUE_LATENCY + self.dram.access(block, now + _ENQUEUE_LATENCY)
+        self._reads_serviced.value += 1
+        latency = _ENQUEUE_LATENCY + self.dram.access(block, now + _ENQUEUE_LATENCY)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "memctrl", "read", cycle=now, addr=block, value=latency
+            )
+        return latency
 
     # ------------------------------------------------------------------
     # Writes
@@ -86,7 +145,11 @@ class MemoryController:
         if entry is not None:
             if self.config.write_merge:
                 entry.merged += 1
-                self.writes_merged += 1
+                self._writes_merged.value += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "memctrl", "write_merge", cycle=now, addr=block
+                    )
                 return _ENQUEUE_LATENCY
             # Without merging, an in-queue duplicate forces ordering: drain.
             self.drain(now)
@@ -94,6 +157,11 @@ class MemoryController:
         if len(self._write_queue) >= watermark:
             self.drain(now)
         self._write_queue[block] = WriteQueueEntry(addr=block, enqueued_at=now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "memctrl", "write_enqueue", cycle=now, addr=block,
+                value=len(self._write_queue),
+            )
         return _ENQUEUE_LATENCY
 
     def drain(self, now: int) -> int:
@@ -106,19 +174,27 @@ class MemoryController:
         """
         if not self._write_queue:
             return now
-        self.drains += 1
+        self._drains.value += 1
         t = now
         entries = list(self._write_queue.values())
         self._write_queue.clear()
         if self.fault_hook is not None:
             kept = self.fault_hook.on_write_drain(entries)
-            self.writes_dropped += len(entries) - len(kept)
+            self._writes_dropped.value += len(entries) - len(kept)
             entries = kept
+        if self.tracer is not None:
+            self.tracer.emit(
+                "memctrl", "drain", cycle=now, value=len(entries)
+            )
         for entry in entries:
             t += self.dram.access(entry.addr, t, is_write=True)
-            self.writes_serviced += 1
+            self._writes_serviced.value += 1
             if self._write_sink is not None:
                 t += self._write_sink(entry.addr, t)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "memctrl", "write_service", cycle=t, addr=entry.addr
+                )
         return t
 
     # ------------------------------------------------------------------

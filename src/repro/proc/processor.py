@@ -26,6 +26,7 @@ from repro.mem.hierarchy import DataCacheSystem
 from repro.mem.memctrl import MemoryController
 from repro.proc.paths import AccessPath
 from repro.secmem.engine import MemoryEncryptionEngine
+from repro.trace.counters import CounterRegistry
 
 _FLUSH_LATENCY = 40
 _STORE_BUFFER_LATENCY = 6
@@ -65,11 +66,46 @@ class SecureProcessor:
         self.layout = self.mee.layout
         self.cycle = 0
         self.stats = ProcessorStats()
+        # One machine-wide view over every component's counter registry,
+        # mounted under dotted prefixes (``core0.l1.hits``, ``dram.reads``…).
+        self.registry = CounterRegistry()
+        for i, core in enumerate(self.caches.core_caches):
+            self.registry.mount(f"core{i}.l1", core.l1.counters)
+            self.registry.mount(f"core{i}.l2", core.l2.counters)
+        for s, l3 in enumerate(self.caches.l3s):
+            self.registry.mount(f"l3.socket{s}", l3.counters)
+        self.registry.mount("memctrl", self.memctrl.counters)
+        self.registry.mount("dram", self.memctrl.dram.counters)
+        self.registry.mount("meta_cache", self.mee.meta_cache.counters)
+        if self.mee.tree_cache is not self.mee.meta_cache:
+            self.registry.mount("tree_cache", self.mee.tree_cache.counters)
+        self.registry.mount("crypto", self.mee.cipher.counters)
+        # Optional trace sink (see ``repro.trace``); None keeps every
+        # instrumented path down to a single attribute test.
+        self.tracer = None
         # Architectural (software-visible) values of written blocks.
         self._plain: dict[int, bytes] = {}
         from repro.utils.rng import derive_rng
 
         self._timer_rng = derive_rng(self.config.seed, "timer")
+
+    def attach_tracer(self, tracer) -> None:
+        """Thread one trace sink through the whole machine.
+
+        Binds the tracer's clock to this processor's cycle counter (so
+        components that have no notion of time stamp events correctly) and
+        attaches it to every cache, the memory controller, DRAM and the
+        memory encryption engine.  ``None`` detaches everywhere.
+        """
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.cycle)
+        for core in self.caches.core_caches:
+            core.l1.tracer = tracer
+            core.l2.tracer = tracer
+        for l3 in self.caches.l3s:
+            l3.tracer = tracer
+        self.mee.attach_tracer(tracer)
 
     def _observed(self, latency: int) -> int:
         """Latency as software measures it (with modeled timer noise)."""
@@ -116,6 +152,10 @@ class SecureProcessor:
             ]
             self.stats.count(path)
             self.cycle += hier.latency
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "proc", "read", core=core, addr=block, value=float(hier.latency)
+                )
             return AccessResult(
                 latency=self._observed(hier.latency),
                 path=path,
@@ -130,6 +170,10 @@ class SecureProcessor:
         self.cycle += latency
         path = self._classify(outcome.counter_hit, outcome.tree_levels_missed)
         self.stats.count(path)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "proc", "read", core=core, addr=block, value=float(latency)
+            )
         return AccessResult(
             latency=self._observed(latency),
             path=path,
@@ -153,6 +197,10 @@ class SecureProcessor:
             path = (AccessPath.L1_HIT, AccessPath.L2_HIT, AccessPath.L3_HIT)[
                 hier.hit_level - 1
             ]
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "proc", "write", core=core, addr=block, value=float(hier.latency)
+                )
             return AccessResult(latency=hier.latency, path=path, cycle=self.cycle)
         self._handle_writebacks(hier.writebacks)
         # Fetch-for-write: the miss path is the same as a read.
@@ -163,6 +211,10 @@ class SecureProcessor:
         self.cycle += latency
         path = self._classify(outcome.counter_hit, outcome.tree_levels_missed)
         self.stats.count(path)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "proc", "write", core=core, addr=block, value=float(latency)
+            )
         return AccessResult(
             latency=latency,
             path=path,
@@ -184,6 +236,10 @@ class SecureProcessor:
             block, self._plain[block], self.cycle
         )
         self.cycle += latency
+        if self.tracer is not None:
+            self.tracer.emit(
+                "proc", "write_through", core=core, addr=block, value=float(latency)
+            )
         return AccessResult(latency=latency, path=AccessPath.L1_HIT, cycle=self.cycle)
 
     def flush(self, addr: int, *, keep_clean_copy: bool = False) -> int:
@@ -196,10 +252,16 @@ class SecureProcessor:
             for writeback in writebacks:
                 self._enqueue_data_writeback(writeback)
         self.cycle += _FLUSH_LATENCY
+        if self.tracer is not None:
+            self.tracer.emit(
+                "proc", "flush", addr=block, value=float(was_dirty)
+            )
         return _FLUSH_LATENCY
 
     def drain_writes(self) -> None:
         """Fence: force the MC write queue to service everything queued."""
+        if self.tracer is not None:
+            self.tracer.emit("proc", "drain")
         self.memctrl.drain(self.cycle)
         self.cycle += _STORE_BUFFER_LATENCY
 

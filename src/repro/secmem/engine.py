@@ -113,6 +113,9 @@ class MemoryEncryptionEngine:
         # notified right before metadata fetched from memory is verified,
         # so campaigns can model corrupt-on-fill faults.
         self.fault_hook = None
+        # Optional trace sink (see ``repro.trace``); attached via
+        # ``attach_tracer`` so every memory-side layer shares one bus.
+        self.tracer = None
         if config.isolated_trees and config.tree_update_policy is not TreeUpdatePolicy.LAZY:
             raise ValueError("isolated trees are implemented for the lazy policy")
         memctrl.set_write_sink(self._service_write)
@@ -131,6 +134,23 @@ class MemoryEncryptionEngine:
         self.meta_cache.fault_hook = hook
         if self.tree_cache is not self.meta_cache:
             self.tree_cache.fault_hook = hook
+
+    def attach_tracer(self, tracer) -> None:
+        """Thread one trace sink through every memory-side layer.
+
+        The tracer (a ``repro.trace.Tracer``) receives metadata-cache
+        hits/misses, tree walks and updates, counter overflows, write-queue
+        activity and DRAM accesses; ``None`` detaches everywhere.
+        """
+        self.tracer = tracer
+        self.memctrl.tracer = tracer
+        self.memctrl.dram.tracer = tracer
+        self.cipher.tracer = tracer
+        self.meta_cache.tracer = tracer
+        if self.tree_cache is not self.meta_cache:
+            self.tree_cache.tracer = tracer
+        for tree in self._domain_trees.values():
+            tree.tracer = tracer
 
     # ------------------------------------------------------------------
     # Per-domain isolated trees (Section IX-C mitigation)
@@ -156,6 +176,7 @@ class MemoryEncryptionEngine:
             tree = build_tree(
                 self.config, self.layout, key, self.counters.counter_block_image
             )
+            tree.tracer = self.tracer
             self._domain_trees[domain] = tree
         return tree
 
@@ -253,6 +274,20 @@ class MemoryEncryptionEngine:
         self.stats.tree_levels_missed_histogram[levels_missed] = (
             self.stats.tree_levels_missed_histogram.get(levels_missed, 0) + 1
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "mee",
+                "counter_hit" if counter_hit else "counter_miss",
+                cycle=now,
+                addr=cb_addr,
+            )
+            self.tracer.emit(
+                "mee",
+                "tree_walk",
+                cycle=now,
+                addr=cb_addr,
+                value=float(levels_missed),
+            )
 
         if block_addr in self._pending_plain:
             # Store-to-load forwarding: the freshest value still sits in the
@@ -289,6 +324,10 @@ class MemoryEncryptionEngine:
         # Fetch + verify the missed chain.
         for level, index, node_addr in missed:
             self.stats.tree_node_loads += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "mee", "tree_node_load", cycle=now, addr=node_addr, level=level
+                )
             fetch = self.memctrl.read_block(node_addr, now)
             if self.config.parallel_tree_fetch:
                 # Address-computable fetches overlap; each extra level adds
@@ -336,6 +375,8 @@ class MemoryEncryptionEngine:
         the paper describes, and any minor-counter overflow encountered on
         the way triggers the subtree reset + re-hash burst.
         """
+        if self.tracer is not None:
+            self.tracer.emit("mee", "meta_writeback", cycle=now, addr=meta_addr)
         self.memctrl.enqueue_write(meta_addr, now)
         if self.config.tree_update_policy is not TreeUpdatePolicy.LAZY:
             return
@@ -374,6 +415,14 @@ class MemoryEncryptionEngine:
             burst = blocks * REHASH_BLOCK_COST
             self.memctrl.dram.occupy_all(now, burst)
             cycles += burst
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "mee",
+                    "tree_overflow",
+                    cycle=now,
+                    level=overflow.level,
+                    value=float(burst),
+                )
         return cycles
 
     # ------------------------------------------------------------------
@@ -401,6 +450,8 @@ class MemoryEncryptionEngine:
             return 0
 
         self.stats.writes_serviced += 1
+        if self.tracer is not None:
+            self.tracer.emit("mee", "write_service", cycle=now, addr=block_addr)
         crypto = self.config.crypto
         cycles = 0
         cb_addr = self.layout.counter_block_addr(block_addr)
@@ -483,6 +534,8 @@ class MemoryEncryptionEngine:
             self.stats.reencrypted_blocks += 1
         burst = (len(event.reencrypt) + 1) * REENCRYPT_BLOCK_COST
         self.memctrl.dram.occupy_all(now, burst)
+        if self.tracer is not None:
+            self.tracer.emit("mee", "enc_overflow", cycle=now, value=float(burst))
         return burst
 
     def _update_tree_eager(self, cb_index: int, cb_addr: int, now: int) -> int:

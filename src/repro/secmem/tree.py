@@ -72,6 +72,14 @@ class IntegrityTree(abc.ABC):
         self.layout = layout
         self.key = bytes(key)
         self.updates = 0
+        # Optional trace sink (see ``repro.trace``), attached by the MEE;
+        # event cycles come from the tracer's bound clock.
+        self.tracer = None
+
+    def _trace(self, kind: str, *, level: int | None = None,
+               index: int | None = None, value: float | None = None) -> None:
+        if self.tracer is not None:
+            self.tracer.emit("tree", kind, addr=index, level=level, value=value)
 
     @abc.abstractmethod
     def on_counter_block_update(
@@ -200,6 +208,7 @@ class CounterTree(IntegrityTree):
         their final values.
         """
         self.updates += 1
+        self._trace("update", level=len(self.layout.levels), index=cb_index)
         update = TreeUpdate()
         path = self.path_nodes(cb_index)
         child_slot = cb_index % self.layout.levels[0].arity
@@ -222,6 +231,7 @@ class CounterTree(IntegrityTree):
     def _handle_overflow(self, level: int, index: int, trigger_slot: int) -> TreeOverflow:
         """Reset this node and its subtree (majors++, minors=0), re-hash."""
         self.overflow_count += 1
+        self._trace("overflow", level=level, index=index)
         affected = 0
         for desc_level, desc_index in self._descendant_nodes(level, index):
             node = self._node(desc_level, desc_index)
@@ -257,6 +267,7 @@ class CounterTree(IntegrityTree):
         metadata cache (the lazy scheme's first propagation step).
         """
         self.updates += 1
+        self._trace("bump_leaf", level=0, index=cb_index)
         update = TreeUpdate(levels_touched=1)
         arity = self.layout.levels[0].arity
         index = cb_index // arity
@@ -278,6 +289,7 @@ class CounterTree(IntegrityTree):
         counter — part of its hash — changed) and the parent node.
         """
         self.updates += 1
+        self._trace("bump_node", level=level, index=index)
         update = TreeUpdate(levels_touched=1)
         parent = self.layout.parent_of(level, index)
         if parent is None:

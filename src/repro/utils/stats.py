@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -120,6 +121,65 @@ def hamming_accuracy(predicted: int, actual: int, bits: int) -> float:
         raise ValueError("bits must be positive")
     differing = bin((predicted ^ actual) & ((1 << bits) - 1)).count("1")
     return 1.0 - differing / bits
+
+
+@dataclass(frozen=True)
+class KsResult:
+    """Two-sample Kolmogorov-Smirnov test outcome."""
+
+    statistic: float
+    pvalue: float
+    n_a: int
+    n_b: int
+
+
+def ks_two_sample(a: Sequence[float], b: Sequence[float]) -> KsResult:
+    """Two-sample KS test with the asymptotic Kolmogorov p-value.
+
+    The statistic is the supremum distance between the two empirical CDFs;
+    the p-value uses the standard Smirnov approximation (the same formula
+    Numerical Recipes and scipy's ``mode='asymp'`` use), which is accurate
+    for the sample sizes the leakage detector works with (dozens+) and
+    conservative below that.
+    """
+    xs = sorted(float(v) for v in a)
+    ys = sorted(float(v) for v in b)
+    if not xs or not ys:
+        raise ValueError("both samples must be non-empty")
+    n, m = len(xs), len(ys)
+    i = j = 0
+    d = 0.0
+    while i < n and j < m:
+        if xs[i] < ys[j]:
+            i += 1
+        elif ys[j] < xs[i]:
+            j += 1
+        else:
+            # Tied value: step both CDFs past every copy before comparing,
+            # otherwise ties manufacture a spurious gap.
+            tied = xs[i]
+            while i < n and xs[i] == tied:
+                i += 1
+            while j < m and ys[j] == tied:
+                j += 1
+        d = max(d, abs(i / n - j / m))
+
+    en = math.sqrt(n * m / (n + m))
+    lam = (en + 0.12 + 0.11 / en) * d
+    if lam <= 0:
+        pvalue = 1.0
+    else:
+        # Alternating series; terms decay like exp(-2 k^2 lam^2).
+        total = 0.0
+        sign = 1.0
+        for k in range(1, 101):
+            term = sign * 2.0 * math.exp(-2.0 * (k * lam) ** 2)
+            total += term
+            if abs(term) < 1e-10:
+                break
+            sign = -sign
+        pvalue = min(1.0, max(0.0, total))
+    return KsResult(statistic=d, pvalue=pvalue, n_a=n, n_b=m)
 
 
 def otsu_threshold(values: Sequence[float], bins: int = 128) -> float:

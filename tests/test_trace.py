@@ -1,0 +1,193 @@
+"""Tests for the structured event bus (``repro.trace``)."""
+
+import json
+
+import pytest
+
+from repro.config import SecureProcessorConfig
+from repro.proc.processor import SecureProcessor
+from repro.trace import (
+    Counter,
+    CounterRegistry,
+    Gauge,
+    TraceEvent,
+    Tracer,
+    group_by_kind,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _machine() -> SecureProcessor:
+    return SecureProcessor(
+        SecureProcessorConfig.sct_default(functional_crypto=False)
+    )
+
+
+def _exercise(proc: SecureProcessor, blocks: int = 24) -> None:
+    for i in range(blocks):
+        proc.write(i * 64, b"x")
+    proc.drain_writes()
+    for i in range(blocks):
+        proc.read(i * 64)
+
+
+class TestTracer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_events_nondecreasing_cycle_order(self):
+        proc = _machine()
+        tracer = Tracer()
+        proc.attach_tracer(tracer)
+        _exercise(proc)
+        events = tracer.events()
+        assert events, "instrumented machine produced no events"
+        assert all(a.cycle <= b.cycle for a, b in zip(events, events[1:]))
+
+    def test_ring_drops_oldest_first(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.emit("c", "k", cycle=i)
+        assert tracer.dropped == 6
+        assert tracer.emitted == 10
+        assert len(tracer) == 4
+        # The survivors are the newest four, in emission order.
+        assert [event.cycle for event in tracer.raw_events()] == [6, 7, 8, 9]
+
+    def test_disabled_emits_nothing(self):
+        proc = _machine()
+        assert proc.tracer is None  # off by default
+        _exercise(proc)
+        tracer = Tracer()
+        proc.attach_tracer(tracer)
+        proc.attach_tracer(None)  # detach again
+        _exercise(proc)
+        assert len(tracer) == 0
+        assert tracer.emitted == 0
+
+    def test_attach_does_not_add_counters(self):
+        proc = _machine()
+        before = set(proc.registry.snapshot())
+        proc.attach_tracer(Tracer())
+        _exercise(proc)
+        assert set(proc.registry.snapshot()) == before
+
+    def test_clock_binding_stamps_component_events(self):
+        proc = _machine()
+        tracer = Tracer()
+        proc.attach_tracer(tracer)
+        proc.advance(1234)
+        # A cache emits without cycle knowledge; the bound clock fills it in.
+        proc.caches.core_caches[0].l1.lookup(0)
+        assert tracer.raw_events()[-1].cycle >= 1234
+
+    def test_clear_resets_tallies(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit("c", "k", cycle=i)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.emitted == 0
+        assert tracer.dropped == 0
+
+    def test_group_by_kind(self):
+        tracer = Tracer()
+        tracer.emit("a", "x", cycle=0)
+        tracer.emit("a", "y", cycle=1)
+        tracer.emit("a", "x", cycle=2)
+        grouped = group_by_kind(tracer.events())
+        assert len(grouped[("a", "x")]) == 2
+        assert len(grouped[("a", "y")]) == 1
+
+
+class TestCounterRegistry:
+    def test_counter_and_gauge(self):
+        registry = CounterRegistry()
+        counter = registry.counter("hits")
+        counter.value += 3
+        counter.incr()
+        gauge = registry.gauge("depth", lambda: 7)
+        assert registry.snapshot() == {"hits": 4, "depth": 7}
+        assert isinstance(counter, Counter)
+        assert isinstance(gauge, Gauge)
+
+    def test_counter_is_idempotent_per_name(self):
+        registry = CounterRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+
+    def test_dotted_mounts_flatten(self):
+        child = CounterRegistry()
+        child.counter("hits").value = 2
+        root = CounterRegistry()
+        root.mount("core0.l1", child)
+        assert root.snapshot() == {"core0.l1.hits": 2}
+        assert root.get("core0.l1.hits") == 2
+        assert "core0.l1.hits" in root
+        assert "core0.l1.nope" not in root
+
+    def test_name_collision_rejected(self):
+        registry = CounterRegistry()
+        registry.counter("hits")
+        with pytest.raises(ValueError):
+            registry.gauge("hits")
+        with pytest.raises(ValueError):
+            registry.mount("hits", CounterRegistry())
+
+    def test_machine_registry_mirrors_legacy_attributes(self):
+        proc = _machine()
+        _exercise(proc)
+        snapshot = proc.registry.snapshot()
+        assert snapshot["meta_cache.hits"] == proc.mee.meta_cache.hits
+        assert snapshot["meta_cache.misses"] == proc.mee.meta_cache.misses
+        assert snapshot["dram.reads"] == proc.memctrl.dram.reads
+        assert snapshot["memctrl.reads_serviced"] == proc.memctrl.reads_serviced
+        assert snapshot["core0.l1.hits"] == proc.caches.core_caches[0].l1.hits
+
+    def test_legacy_setters_still_work(self):
+        proc = _machine()
+        _exercise(proc)
+        proc.mee.meta_cache.hits = 0
+        proc.memctrl.drains = 0
+        assert proc.registry.snapshot()["meta_cache.hits"] == 0
+        assert proc.registry.snapshot()["memctrl.drains"] == 0
+
+
+class TestExport:
+    def _sample_events(self) -> list[TraceEvent]:
+        proc = _machine()
+        tracer = Tracer()
+        proc.attach_tracer(tracer)
+        _exercise(proc, blocks=8)
+        return tracer.events()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        events = self._sample_events()
+        path = tmp_path / "trace.jsonl"
+        written = write_jsonl(events, path)
+        assert written == len(events)
+        assert read_jsonl(path) == events
+
+    def test_jsonl_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"cycle": 1, "component": "a", "kind": "k"}\nnot json\n')
+        with pytest.raises(ValueError):
+            read_jsonl(path)
+
+    def test_chrome_trace_structure(self, tmp_path):
+        events = self._sample_events()
+        doc = to_chrome_trace(events)
+        records = doc["traceEvents"]
+        metadata = [r for r in records if r["ph"] == "M"]
+        slices = [r for r in records if r["ph"] == "X"]
+        instants = [r for r in records if r["ph"] == "i"]
+        assert metadata and (slices or instants)
+        assert len(records) == len(metadata) + len(slices) + len(instants)
+        for record in slices:
+            assert record["dur"] >= 0
+        path = tmp_path / "trace.json"
+        write_chrome_trace(events, path)
+        assert json.loads(path.read_text())["traceEvents"]

@@ -42,6 +42,16 @@ class TestBands:
         with pytest.raises(ValueError):
             detect_bands([])
 
+    @pytest.mark.parametrize("gap", [0.0, -5.0, float("nan"), float("inf")])
+    def test_invalid_gap_rejected(self, gap):
+        with pytest.raises(ValueError, match="gap"):
+            detect_bands([100, 200, 300], gap=gap)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_latencies_rejected(self, bad):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            detect_bands([100.0, bad, 300.0])
+
     @given(st.lists(st.floats(min_value=0, max_value=10000), min_size=1, max_size=100))
     @settings(max_examples=40)
     def test_counts_partition_sample(self, values):
