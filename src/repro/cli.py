@@ -43,6 +43,20 @@ Commands
     secrets with identical public inputs and diff the metadata event
     streams (count + KS tests per event kind).  ``--expect`` turns the
     verdict into an exit code for CI gating.
+
+``bench [SCENARIO ...] [--out DIR] [--seed S] [--quick]
+[--compare DIR] [--threshold F] [--list]``
+    Run the benchmark scenario suite (all scenarios by default) and
+    write one ``BENCH_<scenario>.json`` per scenario.  ``--compare``
+    checks throughput against baseline JSONs in a directory and exits
+    non-zero on a regression beyond ``--threshold``.
+
+``profile --victim NAME [--preset sct|ht|sgx] [--seed S]
+[--collapsed FILE] [--prom FILE] [--min-share F]``
+    Run one victim under the cycle-attribution profiler and print the
+    hierarchical where-did-the-cycles-go report (conservation-checked).
+    ``--collapsed`` exports flamegraph-ready collapsed stacks;
+    ``--prom`` exports the counter registry in Prometheus text format.
 """
 
 from __future__ import annotations
@@ -73,6 +87,7 @@ _FIGURE_DOC = {
     "ablation_split": "Abl. A6 — combined vs split metadata caches",
     "sweep_ecc": "Sweep S6 — raw vs ECC-framed covert channels under noise",
     "leakcheck": "Leakcheck — automated paired-secret leakage detection matrix",
+    "perf_attribution": "Perf — cycle attribution across access paths",
 }
 
 # Reduced-scale keyword arguments for --quick runs.
@@ -92,6 +107,7 @@ _QUICK_KWARGS = {
     "ablation_defenses": {"bits": 16},
     "sweep_ecc": {"intensities": (0, 2), "bits": 16, "include_c": False},
     "leakcheck": {"victims": ("rsa", "const")},
+    "perf_attribution": {"samples": 5},
 }
 
 
@@ -309,6 +325,84 @@ def _cmd_leakcheck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.perf import bench
+
+    if args.list:
+        for name in bench.scenario_names():
+            print(name)
+        return 0
+    if not (args.threshold > 0 and math.isfinite(args.threshold)):
+        raise ValueError(
+            f"--threshold must be a positive finite fraction, "
+            f"got {args.threshold!r}"
+        )
+    names = args.scenarios or bench.scenario_names()
+    unknown = [name for name in names if name not in bench.scenario_names()]
+    if unknown:
+        raise ValueError(
+            f"unknown scenario(s) {unknown}; see 'python -m repro bench --list'"
+        )
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    results = []
+    for name in names:
+        result = bench.run_scenario(name, seed=args.seed, quick=args.quick)
+        results.append(result)
+        written = bench.write_result(result, out_dir)
+        print(
+            f"{name:<12} {result.accesses:>7} accesses  "
+            f"{result.simulated_cycles:>10} cycles  "
+            f"{result.sim_accesses_per_second:>10.0f} acc/s  "
+            f"rss={result.peak_rss_kb} KB  -> {written}"
+        )
+    if args.compare is None:
+        return 0
+    failed = False
+    for outcome in bench.compare(
+        results, args.compare, threshold=args.threshold
+    ):
+        print(f"compare {outcome.scenario:<12} {outcome.status:<12} "
+              f"{outcome.detail}")
+        if outcome.status == "regression":
+            failed = True
+    if failed:
+        print(
+            f"FAIL: throughput regressed more than "
+            f"{args.threshold:.0%} vs {args.compare}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.config import preset_config
+    from repro.leakcheck import get_victim
+    from repro.perf import CycleAttributor, prometheus_text
+    from repro.proc import SecureProcessor
+
+    spec = get_victim(args.victim)
+    secret, _ = spec.secrets(args.seed)
+    config = preset_config(args.preset, functional_crypto=False)
+    proc = SecureProcessor(config)
+    attributor = CycleAttributor()
+    proc.attach_profiler(attributor)
+    spec.run(proc, secret)
+    attributor.verify()
+    print(f"victim={spec.name} preset={args.preset} seed={args.seed}")
+    print(attributor.report(min_share=args.min_share))
+    if args.collapsed:
+        lines = attributor.write_collapsed(args.collapsed)
+        print(f"\nwrote {lines} collapsed stacks to {args.collapsed}")
+    if args.prom:
+        pathlib.Path(args.prom).write_text(prometheus_text(proc.registry))
+        print(f"wrote Prometheus metrics to {args.prom}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.config import preset_names
 
@@ -433,6 +527,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless the verdict matches (CI gating)",
     )
     leakcheck.set_defaults(func=_cmd_leakcheck)
+
+    bench = commands.add_parser(
+        "bench", help="run the benchmark suite; compare against a baseline"
+    )
+    bench.add_argument(
+        "scenarios", nargs="*", metavar="SCENARIO",
+        help="scenario names (default: all; see --list)",
+    )
+    bench.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for BENCH_<scenario>.json files (default: .)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed; the simulated columns (cycles, accesses, "
+        "counters) are deterministic for a fixed seed and code version, "
+        "only host wall time / throughput / RSS vary between runs",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="reduced-scale workloads (not comparable against full runs)",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="DIR",
+        help="baseline directory of BENCH_*.json; exit non-zero on regression",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="allowed fractional throughput drop before failing (default 0.2)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    bench.set_defaults(func=_cmd_bench)
+
+    profile = commands.add_parser(
+        "profile", help="cycle-attribution profile of one victim run"
+    )
+    profile.add_argument("--victim", choices=victim_names(), required=True)
+    profile.add_argument("--preset", choices=preset_names(), default="sct")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--min-share", type=float, default=0.0, metavar="F",
+        help="hide components below this share of a bucket's cycles",
+    )
+    profile.add_argument(
+        "--collapsed", metavar="FILE",
+        help="write flamegraph collapsed-stack export (flamegraph.pl format)",
+    )
+    profile.add_argument(
+        "--prom", metavar="FILE",
+        help="write the counter registry in Prometheus text format",
+    )
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -71,6 +71,17 @@ class DramModel:
         The returned latency includes any stall waiting for the target bank
         to finish earlier work (e.g. a re-encryption burst).
         """
+        wait, service = self.access_parts(addr, now, is_write=is_write)
+        return wait + service
+
+    def access_parts(
+        self, addr: int, now: int, *, is_write: bool = False
+    ) -> tuple[int, int]:
+        """One block access, split into (bank-queue wait, service + bus).
+
+        ``sum(access_parts(...)) == access(...)`` by construction; the cycle
+        attributor uses the split to separate DRAM queueing from service.
+        """
         if self.fault_hook is not None:
             self.fault_hook.on_dram_access(addr, now, is_write=is_write)
         bank_index = self.bank_of(addr)
@@ -84,8 +95,8 @@ class DramModel:
             service = self.config.row_miss_latency
             self._row_misses.value += 1
             bank.open_row = row
-        latency = wait + service + self.config.bus_latency
-        bank.busy_until = now + latency
+        service += self.config.bus_latency
+        bank.busy_until = now + wait + service
         if is_write:
             self._writes.value += 1
         else:
@@ -97,9 +108,9 @@ class DramModel:
                 cycle=now,
                 addr=addr,
                 set_index=bank_index,
-                value=latency,
+                value=wait + service,
             )
-        return latency
+        return wait, service
 
     def occupy_bank(self, addr: int, now: int, duration: int) -> None:
         """Keep the bank serving ``addr`` busy for ``duration`` extra cycles."""

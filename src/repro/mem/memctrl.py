@@ -116,10 +116,21 @@ class MemoryController:
     # Reads
     # ------------------------------------------------------------------
 
-    def read_block(self, addr: int, now: int) -> int:
-        """Service a block read at cycle ``now``; return its latency."""
+    def read_block(
+        self, addr: int, now: int, parts: list[tuple[int, int, int]] | None = None
+    ) -> int:
+        """Service a block read at cycle ``now``; return its latency.
+
+        When ``parts`` is a list (cycle-attribution profiling), one
+        ``(queue, service, forward)`` tuple is appended per call whose sum
+        equals the returned latency: ``queue`` is enqueue plus bank wait,
+        ``service`` the DRAM row service plus bus transfer, and ``forward``
+        the store-to-load forward out of the write queue.
+        """
         block = block_address(addr)
         if block in self._write_queue:
+            if parts is not None:
+                parts.append((0, 0, _FORWARD_LATENCY))
             if self.tracer is not None:
                 self.tracer.emit(
                     "memctrl", "read_forward", cycle=now, addr=block,
@@ -127,7 +138,10 @@ class MemoryController:
                 )
             return _FORWARD_LATENCY
         self._reads_serviced.value += 1
-        latency = _ENQUEUE_LATENCY + self.dram.access(block, now + _ENQUEUE_LATENCY)
+        wait, service = self.dram.access_parts(block, now + _ENQUEUE_LATENCY)
+        if parts is not None:
+            parts.append((_ENQUEUE_LATENCY + wait, service, 0))
+        latency = _ENQUEUE_LATENCY + wait + service
         if self.tracer is not None:
             self.tracer.emit(
                 "memctrl", "read", cycle=now, addr=block, value=latency

@@ -1,0 +1,53 @@
+"""Performance observability: cycle attribution, metrics export, benchmarks.
+
+Three pillars (see ``docs/performance.md``):
+
+* :mod:`repro.perf.attribution` — :class:`CycleAttributor`, an exact
+  (conservation-checked) per-component latency profiler with hierarchical
+  reports and flamegraph-ready collapsed-stack export;
+* :mod:`repro.perf.metrics` — Prometheus-text / JSON exporters over the
+  counter registry, plus :class:`MetricsSampler` for time series over
+  simulated cycles;
+* :mod:`repro.perf.bench` — the ``repro bench`` scenario suite with
+  ``BENCH_<scenario>.json`` results and baseline regression comparison.
+"""
+
+from repro.perf.attribution import (
+    AccessRecord,
+    AttributionError,
+    CycleAttributor,
+    PathProfile,
+)
+from repro.perf.bench import (
+    BenchResult,
+    Comparison,
+    compare,
+    load_result,
+    run_scenario,
+    scenario_names,
+    write_result,
+)
+from repro.perf.metrics import (
+    MetricsSampler,
+    metrics_dict,
+    metrics_json,
+    prometheus_text,
+)
+
+__all__ = [
+    "AccessRecord",
+    "AttributionError",
+    "BenchResult",
+    "Comparison",
+    "CycleAttributor",
+    "MetricsSampler",
+    "PathProfile",
+    "compare",
+    "load_result",
+    "metrics_dict",
+    "metrics_json",
+    "prometheus_text",
+    "run_scenario",
+    "scenario_names",
+    "write_result",
+]

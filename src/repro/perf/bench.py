@@ -1,0 +1,260 @@
+"""Benchmark scenario suite and regression comparison.
+
+``repro bench`` runs a fixed set of scenarios — steady-state access mixes
+for each preset, one leakage-detection victim, one covert-channel round —
+and writes one ``BENCH_<scenario>.json`` per scenario.  Each result
+records enough to diagnose a regression after the fact:
+
+* ``simulated_cycles`` / ``accesses`` — the simulated workload's shape;
+* ``host_wall_time_s`` / ``sim_accesses_per_second`` — host throughput,
+  the figure :func:`compare` regresses on;
+* ``peak_rss_kb`` — process peak resident set (``ru_maxrss``);
+* ``git_rev`` and a full counter snapshot for provenance.
+
+Scenario workloads are seeded (``--seed``), so the *simulated* columns are
+deterministic for a given seed and code version; only the host-side
+columns (wall time, throughput, RSS) vary between machines and runs.
+Comparison is intentionally loose for that reason: a regression is flagged
+only when current throughput drops more than ``threshold`` (default 20%)
+below the baseline's.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import resource
+import subprocess
+import time
+from dataclasses import asdict, dataclass
+from random import Random
+from typing import Callable
+
+from repro.attacks.covert import CovertChannelT
+from repro.config import MIB, PAGE_SIZE, preset_config
+from repro.leakcheck.victims import get_victim
+from repro.os.page_alloc import PageAllocator
+from repro.proc.processor import SecureProcessor
+
+SCHEMA_VERSION = 1
+_STEADY_OPS = 4000
+_STEADY_OPS_QUICK = 800
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One scenario's measurement; serialised to ``BENCH_<scenario>.json``."""
+
+    schema_version: int
+    scenario: str
+    preset: str
+    seed: int
+    quick: bool
+    git_rev: str
+    simulated_cycles: int
+    accesses: int
+    host_wall_time_s: float
+    sim_accesses_per_second: float
+    peak_rss_kb: int
+    counters: dict[str, float]
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+    @property
+    def filename(self) -> str:
+        return f"BENCH_{self.scenario}.json"
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _bench_machine(preset: str) -> tuple[SecureProcessor, PageAllocator]:
+    overrides: dict[str, object] = {"functional_crypto": False,
+                                    "timer_jitter_sigma": 0.0}
+    if preset != "sgx":
+        # The SGX preset derives its protected size from the EPC model.
+        overrides["protected_size"] = 256 * MIB
+    config = preset_config(preset, **overrides)
+    proc = SecureProcessor(config)
+    allocator = PageAllocator(
+        proc.layout.data_size // PAGE_SIZE, cores=proc.config.cores
+    )
+    return proc, allocator
+
+
+def _steady(preset: str, seed: int, quick: bool) -> tuple[SecureProcessor, int]:
+    """Seeded steady-state mix: reads, writes, occasional flush + fence.
+
+    The flushes keep the miss paths (counter fetch, tree walks) live so the
+    benchmark exercises the full MEE read path, not just L1 hits.
+    """
+    proc, allocator = _bench_machine(preset)
+    rng = Random(seed)
+    frames = allocator.alloc_many(32, core=0)
+    addrs = [frame * PAGE_SIZE + 64 * rng.randrange(PAGE_SIZE // 64)
+             for frame in frames for _ in range(4)]
+    ops = _STEADY_OPS_QUICK if quick else _STEADY_OPS
+    accesses = 0
+    for i in range(ops):
+        addr = rng.choice(addrs)
+        roll = rng.random()
+        if roll < 0.70:
+            proc.read(addr, core=rng.randrange(proc.config.cores))
+        elif roll < 0.90:
+            proc.write(addr, i.to_bytes(8, "little"),
+                       core=rng.randrange(proc.config.cores))
+        elif roll < 0.98:
+            proc.flush(addr)
+        else:
+            proc.drain_writes()
+        accesses += 1
+    proc.drain_writes()
+    accesses += 1
+    return proc, accesses
+
+
+def _victim_rsa(seed: int, quick: bool) -> tuple[SecureProcessor, int]:
+    """One full leakage-victim run (square-and-multiply RSA)."""
+    spec = get_victim("rsa")
+    secret, _ = spec.secrets(seed)
+    config = preset_config("sct", functional_crypto=False,
+                           protected_size=256 * MIB)
+    proc = SecureProcessor(config)
+    spec.run(proc, secret)
+    return proc, proc.stats.reads + proc.stats.writes + proc.stats.flushes
+
+
+def _covert_t(seed: int, quick: bool) -> tuple[SecureProcessor, int]:
+    """One covert-channel round over the shared integrity tree."""
+    proc, allocator = _bench_machine("sct")
+    channel = CovertChannelT(proc, allocator)
+    rng = Random(seed)
+    bits = [rng.randrange(2) for _ in range(8 if quick else 32)]
+    channel.transmit(bits)
+    return proc, proc.stats.reads + proc.stats.writes + proc.stats.flushes
+
+
+_Runner = Callable[[int, bool], tuple[SecureProcessor, int]]
+
+SCENARIOS: dict[str, tuple[str, _Runner]] = {
+    "steady_sct": ("sct", lambda seed, quick: _steady("sct", seed, quick)),
+    "steady_ht": ("ht", lambda seed, quick: _steady("ht", seed, quick)),
+    "steady_sgx": ("sgx", lambda seed, quick: _steady("sgx", seed, quick)),
+    "victim_rsa": ("sct", _victim_rsa),
+    "covert_t": ("sct", _covert_t),
+}
+
+
+def scenario_names() -> list[str]:
+    return list(SCENARIOS)
+
+
+def run_scenario(name: str, *, seed: int = 0, quick: bool = False) -> BenchResult:
+    """Run one scenario and measure it; raises ValueError on unknown name."""
+    entry = SCENARIOS.get(name)
+    if entry is None:
+        raise ValueError(
+            f"unknown bench scenario {name!r}; choose from {scenario_names()}"
+        )
+    preset, runner = entry
+    start = time.perf_counter()
+    proc, accesses = runner(seed, quick)
+    wall = time.perf_counter() - start
+    return BenchResult(
+        schema_version=SCHEMA_VERSION,
+        scenario=name,
+        preset=preset,
+        seed=seed,
+        quick=quick,
+        git_rev=_git_rev(),
+        simulated_cycles=proc.cycle,
+        accesses=accesses,
+        host_wall_time_s=round(wall, 6),
+        sim_accesses_per_second=round(accesses / wall, 2) if wall > 0 else 0.0,
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        counters=proc.registry.snapshot(),
+    )
+
+
+def write_result(result: BenchResult, out_dir: str | pathlib.Path) -> pathlib.Path:
+    out = pathlib.Path(out_dir) / result.filename
+    out.write_text(result.to_json())
+    return out
+
+
+def load_result(path: str | pathlib.Path) -> BenchResult:
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported bench schema "
+            f"{data.get('schema_version')!r} (want {SCHEMA_VERSION})"
+        )
+    return BenchResult(**data)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing one current result against its baseline."""
+
+    scenario: str
+    status: str  # "ok" | "regression" | "no-baseline" | "skipped"
+    detail: str
+
+
+def compare(
+    results: list[BenchResult],
+    baseline_dir: str | pathlib.Path,
+    *,
+    threshold: float = 0.2,
+) -> list[Comparison]:
+    """Compare throughput against ``BENCH_*.json`` files in ``baseline_dir``.
+
+    A scenario regresses when its ``sim_accesses_per_second`` falls more
+    than ``threshold`` (a fraction) below the baseline's.  Quick/full mode
+    mismatches are skipped rather than compared — the workloads differ.
+    Missing baselines are reported, not failed, so the first run of a new
+    scenario does not break CI.
+    """
+    import math
+
+    if not (threshold > 0 and math.isfinite(threshold)):
+        raise ValueError(
+            f"comparison threshold must be a positive finite fraction, "
+            f"got {threshold!r}"
+        )
+    outcomes: list[Comparison] = []
+    base = pathlib.Path(baseline_dir)
+    for result in results:
+        ref_path = base / result.filename
+        if not ref_path.exists():
+            outcomes.append(Comparison(
+                result.scenario, "no-baseline", f"{ref_path} not found"
+            ))
+            continue
+        ref = load_result(ref_path)
+        if ref.quick != result.quick:
+            outcomes.append(Comparison(
+                result.scenario, "skipped",
+                "quick/full mode differs from baseline",
+            ))
+            continue
+        floor = ref.sim_accesses_per_second * (1 - threshold)
+        detail = (
+            f"{result.sim_accesses_per_second:.0f} acc/s vs baseline "
+            f"{ref.sim_accesses_per_second:.0f} (floor {floor:.0f})"
+        )
+        if result.sim_accesses_per_second < floor:
+            outcomes.append(Comparison(result.scenario, "regression", detail))
+        else:
+            outcomes.append(Comparison(result.scenario, "ok", detail))
+    return outcomes

@@ -1,0 +1,123 @@
+"""Metrics export: Prometheus text format, JSON, and periodic sampling.
+
+Two stateless exporters flatten a :class:`~repro.trace.counters.
+CounterRegistry` into interchange formats:
+
+* :func:`prometheus_text` emits the Prometheus text exposition format
+  (``# TYPE`` lines, sanitised metric names, counters suffixed ``_total``)
+  so a scrape of a long-running simulation can be pasted straight into
+  promtool or a pushgateway;
+* :func:`metrics_dict` / :func:`metrics_json` produce the same data as a
+  plain mapping / JSON document for ad-hoc tooling.
+
+:class:`MetricsSampler` turns the registry into a time series over
+*simulated* cycles: attach it to a processor with ``attach_sampler`` and
+it snapshots every ``every`` cycles.  When the buffer fills it decimates
+(keeps every other sample and doubles the interval), so memory stays
+bounded for arbitrarily long runs while coverage of the whole run is
+preserved at decreasing resolution.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+from repro.trace.counters import CounterRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(path: str, kind: str, namespace: str) -> str:
+    name = _NAME_OK.sub("_", f"{namespace}_{path.replace('.', '_')}")
+    if kind == "counter":
+        name += "_total"
+    return name
+
+
+def prometheus_text(
+    registry: CounterRegistry, *, namespace: str = "repro"
+) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for path, kind, value in sorted(registry.items()):
+        name = _prom_name(path, kind, namespace)
+        lines.append(f"# TYPE {name} {kind}")
+        if isinstance(value, float) and not value.is_integer():
+            lines.append(f"{name} {value!r}")
+        else:
+            lines.append(f"{name} {int(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_dict(registry: CounterRegistry) -> dict[str, dict[str, float]]:
+    """Registry contents as ``{"counters": {...}, "gauges": {...}}``."""
+    out: dict[str, dict[str, float]] = {"counters": {}, "gauges": {}}
+    for path, kind, value in registry.items():
+        out[f"{kind}s"][path] = value
+    return out
+
+
+def metrics_json(registry: CounterRegistry, *, indent: int = 2) -> str:
+    return json.dumps(metrics_dict(registry), indent=indent, sort_keys=True)
+
+
+class MetricsSampler:
+    """Snapshot a registry every N simulated cycles, with bounded memory.
+
+    The processor calls :meth:`on_cycle` as its clock advances; whenever at
+    least ``every`` cycles have elapsed since the last sample, the registry
+    is snapshotted.  Once ``max_samples`` snapshots accumulate, the sampler
+    decimates: it keeps every other sample and doubles ``every``, trading
+    resolution for unbounded run length.
+    """
+
+    def __init__(
+        self,
+        registry: CounterRegistry,
+        *,
+        every: int = 10_000,
+        max_samples: int = 4096,
+    ) -> None:
+        if every <= 0:
+            raise ValueError("sampling interval must be positive")
+        if max_samples < 2:
+            raise ValueError("need room for at least two samples")
+        self.registry = registry
+        self.every = every
+        self.max_samples = max_samples
+        self.samples: list[tuple[int, dict[str, float]]] = []
+        self._next_at = 0
+
+    def on_cycle(self, cycle: int) -> None:
+        if cycle < self._next_at:
+            return
+        self.sample(cycle)
+
+    def sample(self, cycle: int) -> None:
+        """Take a snapshot now, regardless of the schedule."""
+        self.samples.append((cycle, self.registry.snapshot()))
+        self._next_at = cycle + self.every
+        if len(self.samples) >= self.max_samples:
+            self.samples = self.samples[::2]
+            self.every *= 2
+
+    def series(self, path: str) -> list[tuple[int, float]]:
+        """The sampled (cycle, value) series for one dotted counter path."""
+        return [
+            (cycle, snap[path]) for cycle, snap in self.samples if path in snap
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "every": self.every,
+            "samples": [
+                {"cycle": cycle, "values": snap} for cycle, snap in self.samples
+            ],
+        }
+
+    def write_json(self, path: str | pathlib.Path) -> None:
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )

@@ -42,6 +42,10 @@ class AccessResult:
     counter_hit: bool = False
     tree_levels_missed: int = 0
     data: bytes = b""
+    # Critical-path cycle attribution (populated only while a profiler is
+    # attached): component -> cycles, summing exactly to the access's
+    # pre-jitter latency.  See ``repro.perf`` / docs/performance.md.
+    breakdown: dict[str, int] | None = None
 
 
 @dataclass
@@ -83,6 +87,10 @@ class SecureProcessor:
         # Optional trace sink (see ``repro.trace``); None keeps every
         # instrumented path down to a single attribute test.
         self.tracer = None
+        # Optional cycle attributor and metrics sampler (see ``repro.perf``);
+        # same contract: None keeps hot paths to one attribute test each.
+        self.profiler = None
+        self.sampler = None
         # Architectural (software-visible) values of written blocks.
         self._plain: dict[int, bytes] = {}
         from repro.utils.rng import derive_rng
@@ -107,6 +115,27 @@ class SecureProcessor:
             l3.tracer = tracer
         self.mee.attach_tracer(tracer)
 
+    def attach_profiler(self, profiler) -> None:
+        """Attach a cycle attributor (``repro.perf.CycleAttributor``).
+
+        While attached, every software-visible operation reports its
+        latency as a per-component breakdown whose sum equals the access's
+        pre-jitter latency (the conservation guarantee).  ``None`` detaches
+        and restores the zero-overhead path.
+        """
+        self.profiler = profiler
+
+    def attach_sampler(self, sampler) -> None:
+        """Attach a metrics sampler (``repro.perf.MetricsSampler``).
+
+        The sampler snapshots ``self.registry`` every N simulated cycles,
+        ticked from the operations that advance the machine clock.
+        ``None`` detaches.
+        """
+        self.sampler = sampler
+        if sampler is not None:
+            sampler.on_cycle(self.cycle)
+
     def _observed(self, latency: int) -> int:
         """Latency as software measures it (with modeled timer noise)."""
         sigma = self.config.timer_jitter_sigma
@@ -123,6 +152,8 @@ class SecureProcessor:
         if cycles < 0:
             raise ValueError("cannot advance backwards")
         self.cycle += cycles
+        if self.sampler is not None:
+            self.sampler.on_cycle(self.cycle)
 
     def quiesce(self) -> int:
         """Idle until all DRAM banks are free; returns cycles waited.
@@ -156,14 +187,24 @@ class SecureProcessor:
                 self.tracer.emit(
                     "proc", "read", core=core, addr=block, value=float(hier.latency)
                 )
+            breakdown = None
+            if self.profiler is not None:
+                breakdown = self._profile_hit(
+                    "read", path, hier, core=core, addr=block
+                )
+            if self.sampler is not None:
+                self.sampler.on_cycle(self.cycle)
             return AccessResult(
                 latency=self._observed(hier.latency),
                 path=path,
                 cycle=self.cycle,
                 data=self._plain.get(block, bytes(BLOCK_SIZE)),
+                breakdown=breakdown,
             )
         self._handle_writebacks(hier.writebacks)
-        outcome = self.mee.read_data(block, self.cycle + hier.latency)
+        outcome = self.mee.read_data(
+            block, self.cycle + hier.latency, breakdown=self.profiler is not None
+        )
         for writeback in self.caches.fill(core, block, dirty=False):
             self._enqueue_data_writeback(writeback)
         latency = hier.latency + outcome.latency
@@ -174,6 +215,13 @@ class SecureProcessor:
             self.tracer.emit(
                 "proc", "read", core=core, addr=block, value=float(latency)
             )
+        breakdown = None
+        if self.profiler is not None:
+            breakdown = self._profile_miss(
+                "read", path, hier, outcome, latency, core=core, addr=block
+            )
+        if self.sampler is not None:
+            self.sampler.on_cycle(self.cycle)
         return AccessResult(
             latency=self._observed(latency),
             path=path,
@@ -181,6 +229,7 @@ class SecureProcessor:
             counter_hit=outcome.counter_hit,
             tree_levels_missed=outcome.tree_levels_missed,
             data=outcome.plaintext,
+            breakdown=breakdown,
         )
 
     def write(
@@ -201,10 +250,22 @@ class SecureProcessor:
                 self.tracer.emit(
                     "proc", "write", core=core, addr=block, value=float(hier.latency)
                 )
-            return AccessResult(latency=hier.latency, path=path, cycle=self.cycle)
+            breakdown = None
+            if self.profiler is not None:
+                breakdown = self._profile_hit(
+                    "write", path, hier, core=core, addr=block
+                )
+            if self.sampler is not None:
+                self.sampler.on_cycle(self.cycle)
+            return AccessResult(
+                latency=hier.latency, path=path, cycle=self.cycle,
+                breakdown=breakdown,
+            )
         self._handle_writebacks(hier.writebacks)
         # Fetch-for-write: the miss path is the same as a read.
-        outcome = self.mee.read_data(block, self.cycle + hier.latency)
+        outcome = self.mee.read_data(
+            block, self.cycle + hier.latency, breakdown=self.profiler is not None
+        )
         for writeback in self.caches.fill(core, block, dirty=True):
             self._enqueue_data_writeback(writeback)
         latency = hier.latency + outcome.latency
@@ -215,12 +276,20 @@ class SecureProcessor:
             self.tracer.emit(
                 "proc", "write", core=core, addr=block, value=float(latency)
             )
+        breakdown = None
+        if self.profiler is not None:
+            breakdown = self._profile_miss(
+                "write", path, hier, outcome, latency, core=core, addr=block
+            )
+        if self.sampler is not None:
+            self.sampler.on_cycle(self.cycle)
         return AccessResult(
             latency=latency,
             path=path,
             cycle=self.cycle,
             counter_hit=outcome.counter_hit,
             tree_levels_missed=outcome.tree_levels_missed,
+            breakdown=breakdown,
         )
 
     def write_through(
@@ -232,15 +301,27 @@ class SecureProcessor:
         block = block_address(addr)
         self._plain[block] = self._coerce_data(block, data)
         self.caches.flush(block)  # drop any stale cached copy
-        latency = _STORE_BUFFER_LATENCY + self.mee.write_data(
-            block, self._plain[block], self.cycle
-        )
+        enqueue = self.mee.write_data(block, self._plain[block], self.cycle)
+        latency = _STORE_BUFFER_LATENCY + enqueue
         self.cycle += latency
         if self.tracer is not None:
             self.tracer.emit(
                 "proc", "write_through", core=core, addr=block, value=float(latency)
             )
-        return AccessResult(latency=latency, path=AccessPath.L1_HIT, cycle=self.cycle)
+        breakdown = None
+        if self.profiler is not None:
+            breakdown = {"op.store_buffer": _STORE_BUFFER_LATENCY,
+                         "op.enqueue": enqueue}
+            self.profiler.on_access(
+                op="write_through", path=None, core=core, addr=block,
+                cycle=self.cycle, latency=latency, parts=breakdown,
+            )
+        if self.sampler is not None:
+            self.sampler.on_cycle(self.cycle)
+        return AccessResult(
+            latency=latency, path=AccessPath.L1_HIT, cycle=self.cycle,
+            breakdown=breakdown,
+        )
 
     def flush(self, addr: int, *, keep_clean_copy: bool = False) -> int:
         """clflush: drop the block from every cache; write back if dirty."""
@@ -256,6 +337,13 @@ class SecureProcessor:
             self.tracer.emit(
                 "proc", "flush", addr=block, value=float(was_dirty)
             )
+        if self.profiler is not None:
+            self.profiler.on_access(
+                op="flush", path=None, core=-1, addr=block, cycle=self.cycle,
+                latency=_FLUSH_LATENCY, parts={"op.flush": _FLUSH_LATENCY},
+            )
+        if self.sampler is not None:
+            self.sampler.on_cycle(self.cycle)
         return _FLUSH_LATENCY
 
     def drain_writes(self) -> None:
@@ -264,6 +352,16 @@ class SecureProcessor:
             self.tracer.emit("proc", "drain")
         self.memctrl.drain(self.cycle)
         self.cycle += _STORE_BUFFER_LATENCY
+        if self.profiler is not None:
+            # The drain burst itself is posted background work; only the
+            # fence's store-buffer cost lands on the issuing core.
+            self.profiler.on_access(
+                op="drain", path=None, core=-1, addr=None, cycle=self.cycle,
+                latency=_STORE_BUFFER_LATENCY,
+                parts={"op.store_buffer": _STORE_BUFFER_LATENCY},
+            )
+        if self.sampler is not None:
+            self.sampler.on_cycle(self.cycle)
 
     def timed_read(self, addr: int, *, core: int = 0) -> int:
         """Read and return only the measured latency (rdtscp-style)."""
@@ -295,6 +393,30 @@ class SecureProcessor:
         self.mee.write_data(
             block, self._plain.get(block, bytes(BLOCK_SIZE)), self.cycle
         )
+
+    def _profile_hit(
+        self, op: str, path: AccessPath, hier, *, core: int, addr: int
+    ) -> dict[str, int]:
+        """Report a cache-hit access to the attached profiler."""
+        parts = {f"cache.l{hier.hit_level}_hit": hier.latency}
+        self.profiler.on_access(
+            op=op, path=path, core=core, addr=addr, cycle=self.cycle,
+            latency=hier.latency, parts=parts,
+        )
+        return parts
+
+    def _profile_miss(
+        self, op: str, path: AccessPath, hier, outcome, latency: int,
+        *, core: int, addr: int,
+    ) -> dict[str, int]:
+        """Report a memory-path access: hierarchy lookup + MEE breakdown."""
+        parts = {"cache.lookup": hier.latency}
+        parts.update(outcome.breakdown)
+        self.profiler.on_access(
+            op=op, path=path, core=core, addr=addr, cycle=self.cycle,
+            latency=latency, parts=parts, shadowed=outcome.shadowed,
+        )
+        return parts
 
     @staticmethod
     def _classify(counter_hit: bool, tree_levels_missed: int) -> AccessPath:

@@ -57,6 +57,30 @@ class ReadOutcome:
     tree_levels_missed: int
     plaintext: bytes
     overflow_stall: int = 0
+    # Critical-path cycle attribution (``repro.perf``): component -> cycles,
+    # summing exactly to ``latency``.  ``shadowed`` holds the cycles of the
+    # fetch that lost the max(data, metadata) overlap race — real work, but
+    # hidden under the critical path, so excluded from the conserved sum.
+    # Both stay ``None`` unless ``read_data(..., breakdown=True)``.
+    breakdown: dict[str, int] | None = None
+    shadowed: dict[str, int] | None = None
+
+
+def _fold_read_parts(
+    into: dict[str, int],
+    prefix: str,
+    reads: list[tuple[int, int, int]] | None,
+) -> None:
+    """Fold memctrl ``(queue, service, forward)`` tuples into component keys."""
+    if not reads:
+        return
+    for queue, service, forward in reads:
+        if queue:
+            into[f"{prefix}.queue"] = into.get(f"{prefix}.queue", 0) + queue
+        if service:
+            into[f"{prefix}.service"] = into.get(f"{prefix}.service", 0) + service
+        if forward:
+            into[f"{prefix}.forward"] = into.get(f"{prefix}.forward", 0) + forward
 
 
 @dataclass
@@ -239,8 +263,15 @@ class MemoryEncryptionEngine:
     # Read path (Figure 5 / Algorithm 2)
     # ------------------------------------------------------------------
 
-    def read_data(self, addr: int, now: int) -> ReadOutcome:
-        """Service an LLC-missing read of a protected data block."""
+    def read_data(
+        self, addr: int, now: int, *, breakdown: bool = False
+    ) -> ReadOutcome:
+        """Service an LLC-missing read of a protected data block.
+
+        With ``breakdown=True`` (cycle-attribution profiling) the outcome
+        carries a per-component split of the returned latency; see
+        :class:`ReadOutcome` and ``docs/performance.md``.
+        """
         block_addr = block_address(addr)
         if not self.layout.is_protected_data(block_addr):
             raise ValueError(f"address {addr:#x} is not protected data")
@@ -249,26 +280,34 @@ class MemoryEncryptionEngine:
         cb_addr = self.layout.counter_block_addr(block_addr)
         cb_index = self.layout.counter_block_index(block_addr)
 
-        data_latency = self.memctrl.read_block(block_addr, now)
+        data_reads: list[tuple[int, int, int]] | None = [] if breakdown else None
+        data_latency = self.memctrl.read_block(block_addr, now, parts=data_reads)
         if not crypto.mac_in_ecc:
             # Classical design: the MAC is a separate memory word fetched
             # on every read (constant extra latency, no state dependence).
             data_latency += self.memctrl.read_block(
-                self.layout.mac_addr(block_addr), now + data_latency
+                self.layout.mac_addr(block_addr), now + data_latency,
+                parts=data_reads,
             )
         stall = max(0, self.memctrl.dram.busy_until(block_addr) - now - data_latency)
 
+        meta_parts: dict[str, int] | None = {} if breakdown else None
         counter_hit = self.meta_cache.lookup(cb_addr)
         levels_missed = 0
         if counter_hit:
             self.stats.counter_hits += 1
             meta_latency = self.config.metadata_cache.hit_latency
+            if meta_parts is not None:
+                meta_parts["meta.cache_hit"] = meta_latency
             extra_crypto = max(0, crypto.aes_latency - data_latency)
         else:
             self.stats.counter_misses += 1
-            meta_latency = self.memctrl.read_block(cb_addr, now)
+            cb_reads: list[tuple[int, int, int]] | None = [] if breakdown else None
+            meta_latency = self.memctrl.read_block(cb_addr, now, parts=cb_reads)
+            if meta_parts is not None:
+                _fold_read_parts(meta_parts, "meta.counter", cb_reads)
             meta_latency, levels_missed = self._verify_walk(
-                cb_index, cb_addr, now, meta_latency
+                cb_index, cb_addr, now, meta_latency, parts=meta_parts
             )
             extra_crypto = crypto.aes_latency
         self.stats.tree_levels_missed_histogram[levels_missed] = (
@@ -296,21 +335,47 @@ class MemoryEncryptionEngine:
         else:
             plaintext = self._decrypt_and_authenticate(block_addr)
         latency = max(data_latency, meta_latency) + extra_crypto + crypto.mac_latency
+        attributed = shadowed = None
+        if breakdown:
+            data_parts: dict[str, int] = {}
+            _fold_read_parts(data_parts, "data", data_reads)
+            # The data and metadata fetches overlap; only the slower side is
+            # on the critical path.  Its components are attributed, the
+            # other side's cycles are reported as shadowed.
+            if data_latency >= meta_latency:
+                critical, hidden = data_parts, meta_parts
+            else:
+                critical, hidden = meta_parts, data_parts
+            attributed = {key: value for key, value in critical.items() if value}
+            if extra_crypto:
+                attributed["mee.decrypt"] = extra_crypto
+            if crypto.mac_latency:
+                attributed["mee.mac"] = crypto.mac_latency
+            shadowed = {key: value for key, value in hidden.items() if value}
         return ReadOutcome(
             latency=latency,
             counter_hit=counter_hit,
             tree_levels_missed=levels_missed,
             plaintext=plaintext,
             overflow_stall=stall,
+            breakdown=attributed,
+            shadowed=shadowed,
         )
 
     def _verify_walk(
-        self, cb_index: int, cb_addr: int, now: int, meta_latency: int
+        self,
+        cb_index: int,
+        cb_addr: int,
+        now: int,
+        meta_latency: int,
+        parts: dict[str, int] | None = None,
     ) -> tuple[int, int]:
         """Algorithm 2: load tree nodes bottom-up until a cached ancestor.
 
         Returns the accumulated metadata-path latency and the number of
-        tree node blocks that had to be fetched from memory.
+        tree node blocks that had to be fetched from memory.  ``parts``
+        (cycle-attribution profiling) accumulates the added cycles under
+        per-level ``meta.tree.l<level>.*`` component keys.
         """
         crypto = self.config.crypto
         domain = self._domain_of_cb(cb_index)
@@ -332,9 +397,14 @@ class MemoryEncryptionEngine:
             if self.config.parallel_tree_fetch:
                 # Address-computable fetches overlap; each extra level adds
                 # only bus serialisation plus its verification hash.
-                meta_latency += self.config.dram.bus_latency + crypto.hash_latency
-            else:
-                meta_latency += fetch + crypto.hash_latency
+                fetch = self.config.dram.bus_latency
+            meta_latency += fetch + crypto.hash_latency
+            if parts is not None:
+                prefix = f"meta.tree.l{level}"
+                parts[f"{prefix}.fetch"] = parts.get(f"{prefix}.fetch", 0) + fetch
+                parts[f"{prefix}.hash"] = (
+                    parts.get(f"{prefix}.hash", 0) + crypto.hash_latency
+                )
             if self.fault_hook is not None:
                 self.fault_hook.on_meta_fetch("node", level, index)
             try:
@@ -343,6 +413,10 @@ class MemoryEncryptionEngine:
                 raise IntegrityViolation(str(exc)) from exc
         # Verify the counter block itself against the leaf.
         meta_latency += crypto.hash_latency
+        if parts is not None:
+            parts["meta.counter.hash"] = (
+                parts.get("meta.counter.hash", 0) + crypto.hash_latency
+            )
         if self.fault_hook is not None:
             self.fault_hook.on_meta_fetch("counter", 0, cb_index)
         self._verify_counter_block(cb_index)

@@ -62,6 +62,11 @@ class CounterRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._children: dict[str, CounterRegistry] = {}
+        # Intermediate registries this registry created itself while
+        # resolving dotted mount prefixes.  Only these may be recursed into
+        # by later mounts; grafting into an externally mounted child would
+        # silently rewire someone else's registry.
+        self._owned_mounts: set[str] = set()
 
     # -- registration ------------------------------------------------------
 
@@ -99,6 +104,11 @@ class CounterRegistry:
 
         A dotted prefix (``core0.l1``) creates intermediate registries as
         needed, so callers can mount leaf components at any depth.
+
+        Every collision raises :class:`ValueError`: a prefix segment that is
+        already a counter or gauge name, a remount over an existing child,
+        and a dotted mount that would recurse into a child mounted
+        externally (grafting into a component's own registry).
         """
         if child is self:
             raise ValueError("cannot mount a registry under itself")
@@ -109,6 +119,13 @@ class CounterRegistry:
                 self._check_name(head)
                 node = CounterRegistry()
                 self._children[head] = node
+                self._owned_mounts.add(head)
+            elif head not in self._owned_mounts:
+                raise ValueError(
+                    f"cannot mount under {prefix!r}: {head!r} is an "
+                    "externally mounted registry, not a mount-created "
+                    "intermediate"
+                )
             node.mount(rest, child)
             return
         self._check_name(prefix)
@@ -127,6 +144,21 @@ class CounterRegistry:
             for path, value in child.snapshot().items():
                 flat[f"{prefix}.{path}"] = value
         return flat
+
+    def items(self):
+        """Yield ``(dotted-path, kind, value)``; kind is "counter"/"gauge".
+
+        Like :meth:`snapshot` but typed, so exporters that must distinguish
+        monotonic tallies from sampled values (e.g. the Prometheus text
+        format's ``# TYPE`` lines) do not have to guess from the name.
+        """
+        for name, counter in self._counters.items():
+            yield name, "counter", counter.value
+        for name, gauge in self._gauges.items():
+            yield name, "gauge", gauge.read()
+        for prefix, child in self._children.items():
+            for path, kind, value in child.items():
+                yield f"{prefix}.{path}", kind, value
 
     def tree(self) -> dict[str, object]:
         """Nested-dict view (one level of dict per mount point)."""

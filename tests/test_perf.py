@@ -1,0 +1,315 @@
+"""Tests for performance observability (``repro.perf``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import MIB, PAGE_SIZE, preset_config
+from repro.perf import (
+    AttributionError,
+    CycleAttributor,
+    MetricsSampler,
+    compare,
+    load_result,
+    metrics_dict,
+    prometheus_text,
+    run_scenario,
+    scenario_names,
+    write_result,
+)
+from repro.proc.paths import AccessPath
+from repro.proc.processor import SecureProcessor
+
+
+def _machine(preset: str = "sct") -> SecureProcessor:
+    overrides = {"functional_crypto": False, "timer_jitter_sigma": 0.0}
+    if preset != "sgx":
+        overrides["protected_size"] = 64 * MIB
+    return SecureProcessor(preset_config(preset, **overrides))
+
+
+def _exercise_paths(proc: SecureProcessor) -> None:
+    """Steer one address through hit, counter-hit and tree-walk paths."""
+    layout = proc.layout
+    for i in range(6):
+        addr = (8 + 3 * i) * PAGE_SIZE
+        counter_addr = layout.counter_block_addr(addr)
+        proc.quiesce()
+        proc.read(addr)          # cold: full tree walk (Path-4)
+        proc.read(addr)          # L1 hit (Path-1)
+        proc.write(addr, b"y")
+        proc.flush(addr)
+        proc.quiesce()
+        proc.read(addr)          # counter cached (Path-2)
+        proc.flush(addr)
+        proc.mee.invalidate_metadata(counter_addr)
+        proc.quiesce()
+        proc.read(addr)          # tree leaf cached (Path-3)
+        proc.flush(addr)
+        proc.mee.flush_metadata_cache(proc.cycle)
+    proc.drain_writes()
+
+
+class TestConservation:
+    @pytest.mark.parametrize("preset", ["sct", "ht"])
+    def test_attribution_conserves_cycles(self, preset):
+        """Every access's parts sum exactly to its end-to-end latency.
+
+        Violations raise at record time, so reaching the end with the
+        aggregate identity intact is the property: across cache hits,
+        counter hits and full tree walks, no cycle is lost or invented.
+        """
+        proc = _machine(preset)
+        attributor = CycleAttributor(keep_records=True)
+        proc.attach_profiler(attributor)
+        _exercise_paths(proc)
+        attributor.verify()
+        assert attributor.accesses > 0
+        assert sum(attributor.component_totals().values()) == attributor.cycles
+        for record in attributor.records:
+            assert sum(record.parts.values()) == record.latency
+        seen = {record.path for record in attributor.records}
+        assert "L1_HIT" in seen
+        assert "MEM_COUNTER_HIT" in seen
+        assert "MEM_TREE_MISS" in seen
+
+    def test_tree_walk_components_attributed_per_level(self):
+        proc = _machine("sct")
+        attributor = CycleAttributor()
+        proc.attach_profiler(attributor)
+        _exercise_paths(proc)
+        totals = attributor.component_totals()
+        assert any(key.startswith("meta.tree.l0.") for key in totals)
+        assert totals.get("mee.mac", 0) > 0
+
+    def test_violation_raises(self):
+        attributor = CycleAttributor()
+        with pytest.raises(AttributionError):
+            attributor.on_access(
+                op="read", path=AccessPath.L1_HIT, core=0, addr=0,
+                cycle=0, latency=10, parts={"cache.l1_hit": 7},
+            )
+
+    def test_profiling_off_by_default(self):
+        """With no profiler attached, no breakdowns are built at all."""
+        proc = _machine("sct")
+        assert proc.profiler is None
+        result = proc.read(8 * PAGE_SIZE)
+        assert result.breakdown is None
+
+    def test_breakdown_matches_result_latency(self):
+        proc = _machine("sct")
+        proc.attach_profiler(CycleAttributor())
+        result = proc.read(8 * PAGE_SIZE)
+        assert result.breakdown is not None
+        assert sum(result.breakdown.values()) == result.latency
+
+
+class TestReports:
+    def _attributed(self) -> CycleAttributor:
+        proc = _machine("sct")
+        attributor = CycleAttributor()
+        proc.attach_profiler(attributor)
+        _exercise_paths(proc)
+        return attributor
+
+    def test_report_mentions_paths_and_paper_names(self):
+        report = self._attributed().report()
+        assert "conserved" in report
+        assert "MEM_TREE_MISS" in report and "Path-4" in report
+        assert "shadowed" in report
+
+    def test_collapsed_stacks_format(self, tmp_path):
+        attributor = self._attributed()
+        lines = attributor.collapsed_stacks()
+        assert lines
+        for line in lines:
+            frames, _, count = line.rpartition(" ")
+            assert frames and int(count) > 0
+        total = sum(int(line.rpartition(" ")[2]) for line in lines)
+        assert total == attributor.cycles
+        out = tmp_path / "profile.folded"
+        written = attributor.write_collapsed(out)
+        assert written == len(lines)
+        assert out.read_text().splitlines() == lines
+
+    def test_record_buffer_is_bounded(self):
+        attributor = CycleAttributor(keep_records=True, record_capacity=4)
+        for i in range(10):
+            attributor.on_access(
+                op="read", path=None, core=0, addr=i, cycle=i,
+                latency=1, parts={"cache.l1_hit": 1},
+            )
+        assert len(attributor.records) == 4
+        assert attributor.dropped_records == 6
+        assert attributor.accesses == 10  # aggregates keep counting
+
+
+class TestMetrics:
+    def test_prometheus_text_shape(self):
+        proc = _machine("sct")
+        _exercise_paths(proc)
+        text = prometheus_text(proc.registry)
+        assert "# TYPE repro_dram_reads_total counter" in text
+        assert "# TYPE repro_memctrl_write_queue_depth gauge" in text
+        # Dotted registry paths become legal prometheus metric names.
+        for line in text.splitlines():
+            name = line.split()[2 if line.startswith("#") else 0]
+            assert "." not in name
+
+    def test_metrics_dict_splits_kinds(self):
+        proc = _machine("sct")
+        _exercise_paths(proc)
+        data = metrics_dict(proc.registry)
+        assert "dram.reads" in data["counters"]
+        assert "memctrl.write_queue_depth" in data["gauges"]
+        assert "dram.reads" not in data["gauges"]
+
+    def test_sampler_snapshots_every_interval(self):
+        proc = _machine("sct")
+        sampler = MetricsSampler(proc.registry, every=1000)
+        proc.attach_sampler(sampler)
+        _exercise_paths(proc)
+        assert len(sampler.samples) >= 2
+        cycles = [cycle for cycle, _ in sampler.samples]
+        assert cycles == sorted(cycles)
+        assert all(b - a >= 1000 for a, b in zip(cycles[1:], cycles[2:]))
+        series = sampler.series("dram.reads")
+        assert len(series) == len(sampler.samples)
+        values = [value for _, value in series]
+        assert values == sorted(values)  # counters are monotonic
+
+    def test_sampler_decimates_to_bounded_memory(self):
+        proc = _machine("sct")
+        sampler = MetricsSampler(proc.registry, every=1, max_samples=8)
+        proc.attach_sampler(sampler)
+        _exercise_paths(proc)
+        assert len(sampler.samples) < 8
+        assert sampler.every > 1  # interval doubled at least once
+
+    def test_sampler_validation(self):
+        registry = _machine("sct").registry
+        with pytest.raises(ValueError):
+            MetricsSampler(registry, every=0)
+        with pytest.raises(ValueError):
+            MetricsSampler(registry, max_samples=1)
+
+
+class TestBench:
+    def test_simulated_columns_deterministic_per_seed(self):
+        a = run_scenario("steady_sct", seed=7, quick=True)
+        b = run_scenario("steady_sct", seed=7, quick=True)
+        assert a.simulated_cycles == b.simulated_cycles
+        assert a.accesses == b.accesses
+        assert a.counters == b.counters
+        c = run_scenario("steady_sct", seed=8, quick=True)
+        assert c.simulated_cycles != a.simulated_cycles
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario("nope")
+
+    def test_result_round_trip(self, tmp_path):
+        result = run_scenario("steady_sct", seed=1, quick=True)
+        path = write_result(result, tmp_path)
+        assert path.name == "BENCH_steady_sct.json"
+        assert load_result(path) == result
+        data = json.loads(path.read_text())
+        for key in ("schema_version", "scenario", "preset", "seed", "quick",
+                    "git_rev", "simulated_cycles", "accesses",
+                    "host_wall_time_s", "sim_accesses_per_second",
+                    "peak_rss_kb", "counters"):
+            assert key in data
+
+    def test_compare_flags_regression(self, tmp_path):
+        result = run_scenario("steady_sct", seed=1, quick=True)
+        # Baseline claims 25% higher throughput than we just measured:
+        # beyond the 20% default threshold, so this must regress.
+        inflated = json.loads(result.to_json())
+        inflated["sim_accesses_per_second"] = (
+            result.sim_accesses_per_second / 0.75
+        )
+        (tmp_path / result.filename).write_text(json.dumps(inflated))
+        outcomes = compare([result], tmp_path, threshold=0.2)
+        assert [o.status for o in outcomes] == ["regression"]
+        # Same baseline, looser threshold: passes.
+        outcomes = compare([result], tmp_path, threshold=0.5)
+        assert [o.status for o in outcomes] == ["ok"]
+
+    def test_compare_missing_baseline_and_mode_mismatch(self, tmp_path):
+        result = run_scenario("steady_sct", seed=1, quick=True)
+        assert [o.status for o in compare([result], tmp_path)] == [
+            "no-baseline"
+        ]
+        full = json.loads(result.to_json())
+        full["quick"] = False
+        (tmp_path / result.filename).write_text(json.dumps(full))
+        assert [o.status for o in compare([result], tmp_path)] == ["skipped"]
+
+    def test_compare_threshold_validated(self, tmp_path):
+        result = run_scenario("steady_sct", seed=1, quick=True)
+        for bad in (0, -0.5, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                compare([result], tmp_path, threshold=bad)
+
+
+class TestBenchCli:
+    def test_bench_writes_results_and_compares_clean(self, tmp_path):
+        out = tmp_path / "run"
+        assert main([
+            "bench", "steady_sct", "covert_t", "--quick",
+            "--out", str(out), "--seed", "3",
+        ]) == 0
+        files = sorted(p.name for p in out.glob("BENCH_*.json"))
+        assert files == ["BENCH_covert_t.json", "BENCH_steady_sct.json"]
+        # Host throughput between two live runs is load-dependent, so make
+        # the baseline deterministically slow: the comparison must be clean.
+        baseline_path = out / "BENCH_steady_sct.json"
+        baseline = json.loads(baseline_path.read_text())
+        baseline["sim_accesses_per_second"] /= 10
+        baseline_path.write_text(json.dumps(baseline))
+        assert main([
+            "bench", "steady_sct", "--quick", "--out", str(tmp_path / "b"),
+            "--seed", "3", "--compare", str(out), "--threshold", "0.2",
+        ]) == 0
+
+    def test_bench_exits_nonzero_on_injected_regression(self, tmp_path):
+        out = tmp_path / "run"
+        assert main([
+            "bench", "steady_sct", "--quick", "--out", str(out),
+        ]) == 0
+        baseline_path = out / "BENCH_steady_sct.json"
+        baseline = json.loads(baseline_path.read_text())
+        # Inject a baseline 1000x faster than this machine: a >=20% apparent
+        # throughput regression that --compare must turn into exit 1.
+        baseline["sim_accesses_per_second"] *= 1000
+        baseline_path.write_text(json.dumps(baseline))
+        assert main([
+            "bench", "steady_sct", "--quick", "--out", str(tmp_path / "b"),
+            "--compare", str(out), "--threshold", "0.2",
+        ]) == 1
+
+    def test_bench_validates_threshold_and_names(self, tmp_path):
+        assert main([
+            "bench", "--threshold", "-1", "--out", str(tmp_path),
+        ]) == 2
+        assert main([
+            "bench", "bogus", "--out", str(tmp_path),
+        ]) == 2
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        assert capsys.readouterr().out.split() == scenario_names()
+
+    def test_profile_cli(self, tmp_path, capsys):
+        folded = tmp_path / "p.folded"
+        prom = tmp_path / "p.prom"
+        assert main([
+            "profile", "--victim", "rsa", "--collapsed", str(folded),
+            "--prom", str(prom),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert folded.read_text().strip()
+        assert "# TYPE" in prom.read_text()

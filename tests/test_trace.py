@@ -137,6 +137,64 @@ class TestCounterRegistry:
         with pytest.raises(ValueError):
             registry.mount("hits", CounterRegistry())
 
+    def test_remount_same_prefix_rejected(self):
+        root = CounterRegistry()
+        root.mount("memctrl", CounterRegistry())
+        with pytest.raises(ValueError):
+            root.mount("memctrl", CounterRegistry())
+
+    def test_mount_prefix_colliding_with_counter_rejected(self):
+        root = CounterRegistry()
+        root.counter("hits")
+        root.gauge("depth")
+        # Both the leaf segment and an intermediate segment of a dotted
+        # prefix must reject counter/gauge name collisions.
+        with pytest.raises(ValueError):
+            root.mount("depth", CounterRegistry())
+        with pytest.raises(ValueError):
+            root.mount("hits.l1", CounterRegistry())
+
+    def test_mount_must_not_graft_into_foreign_child(self):
+        # Regression: a dotted mount used to recurse silently into a child
+        # that a *component* had mounted as its own registry, rewiring that
+        # component's tree from the outside.
+        component = CounterRegistry()
+        component.counter("hits").value = 5
+        root = CounterRegistry()
+        root.mount("l1", component)
+        with pytest.raises(ValueError):
+            root.mount("l1.extra", CounterRegistry())
+        # The component registry is untouched by the failed mount.
+        assert component.snapshot() == {"hits": 5}
+        assert root.snapshot() == {"l1.hits": 5}
+
+    def test_mount_may_reuse_its_own_intermediates(self):
+        # core0 is created by the first dotted mount; the second mount may
+        # recurse into it (this is how the processor mounts core0.l1/l2).
+        root = CounterRegistry()
+        root.mount("core0.l1", CounterRegistry())
+        root.mount("core0.l2", CounterRegistry())
+        with pytest.raises(ValueError):
+            root.mount("core0.l1", CounterRegistry())
+
+    def test_mount_self_rejected(self):
+        registry = CounterRegistry()
+        with pytest.raises(ValueError):
+            registry.mount("loop", registry)
+
+    def test_items_reports_kinds(self):
+        child = CounterRegistry()
+        child.counter("hits").value = 2
+        root = CounterRegistry()
+        root.counter("reads").value = 9
+        root.gauge("depth", lambda: 3)
+        root.mount("l1", child)
+        assert sorted(root.items()) == [
+            ("depth", "gauge", 3),
+            ("l1.hits", "counter", 2),
+            ("reads", "counter", 9),
+        ]
+
     def test_machine_registry_mirrors_legacy_attributes(self):
         proc = _machine()
         _exercise(proc)
