@@ -1,0 +1,47 @@
+"""``repro.core`` — the component graph and per-access transactions.
+
+The two structural primitives the whole memory path is built on:
+
+* :class:`Component` / :func:`attach` / :func:`adopt` — every simulated
+  component is a node in one graph rooted at the processor; one generic
+  walk installs (or removes) an instrument everywhere, and late-created
+  components inherit instruments from their parent;
+* :class:`Txn` / :data:`NULL_TXN` — the per-access context carrying
+  core id, latency attribution, the critical/shadowed overlap split,
+  trace emission and fault-hook dispatch down the proc→MEE→memctrl→DRAM
+  path, with a shared no-op when nothing is attached.
+
+See ``docs/architecture.md`` for the graph shape, the ``Txn`` lifecycle
+and how to add a new instrument or component.
+"""
+
+from repro.core.component import (
+    FAULT_HOOK,
+    KNOWN_SLOTS,
+    PROFILER,
+    SAMPLER,
+    TRACER,
+    Component,
+    adopt,
+    attach,
+    detach,
+    slot_of,
+    walk,
+)
+from repro.core.txn import NULL_TXN, Txn
+
+__all__ = [
+    "Component",
+    "FAULT_HOOK",
+    "KNOWN_SLOTS",
+    "NULL_TXN",
+    "PROFILER",
+    "SAMPLER",
+    "TRACER",
+    "Txn",
+    "adopt",
+    "attach",
+    "detach",
+    "slot_of",
+    "walk",
+]

@@ -9,6 +9,7 @@ uniqueness (counter component), exactly as the paper describes:
 from __future__ import annotations
 
 from repro.config import BLOCK_SIZE
+from repro.core import Component
 from repro.crypto.prf import keyed_prf
 from repro.trace.counters import CounterRegistry
 
@@ -16,7 +17,7 @@ CHUNK_SIZE = 16  # AES-128 block
 CHUNKS_PER_BLOCK = BLOCK_SIZE // CHUNK_SIZE
 
 
-class CounterModeEngine:
+class CounterModeEngine(Component):
     """One-time-pad encryption keyed by (address, counter).
 
     ``encrypt`` and ``decrypt`` are the same XOR operation; decryption with
@@ -31,8 +32,8 @@ class CounterModeEngine:
         self.counters = CounterRegistry()
         self._pads = self.counters.counter("pads_generated")
         self._block_ops = self.counters.counter("block_ops")
-        # Optional trace sink (see ``repro.trace``), attached by the MEE.
-        self.tracer = None
+        # Instrument slots are created detached by the component graph.
+        self.init_component("crypto")
 
     def one_time_pad(self, block_addr: int, counter: int) -> bytes:
         """The 64-byte OTP for a block under a given counter value."""

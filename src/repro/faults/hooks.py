@@ -38,6 +38,9 @@ from __future__ import annotations
 class FaultHook:
     """No-op base observer; subclass and override selectively."""
 
+    #: Component-graph slot this instrument occupies (``repro.core``).
+    instrument_slot = "fault_hook"
+
     def on_dram_access(self, addr: int, now: int, *, is_write: bool) -> None:
         """One DRAM access is being performed."""
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import CacheConfig
+from repro.core import Component
 from repro.mem.block import block_address
 from repro.mem.replacement import make_policy
 from repro.trace.counters import CounterRegistry
@@ -40,7 +41,7 @@ class _CacheSet:
         self.policy = make_policy(policy_name, ways, seed)
 
 
-class SetAssocCache:
+class SetAssocCache(Component):
     """A classic set-associative cache."""
 
     def __init__(
@@ -61,13 +62,9 @@ class SetAssocCache:
         self._fills = self.counters.counter("fills")
         self._evictions = self.counters.counter("evictions")
         self.counters.gauge("occupancy", self.occupancy)
-        self._component = f"cache.{config.name}"
-        # Optional fault-injection observer (see ``repro.faults.hooks``);
-        # notified on every miss fill so campaigns can corrupt fills.
-        self.fault_hook = None
-        # Optional trace sink (see ``repro.trace``); None keeps every
-        # instrumented path down to a single attribute test.
-        self.tracer = None
+        # Instrument slots (tracer, fault_hook) are created detached by
+        # the component graph; attach via ``repro.core.attach``.
+        self.init_component(f"cache.{config.name}")
 
     # ------------------------------------------------------------------
     # Legacy tally attributes (now registry-backed)
@@ -115,7 +112,7 @@ class SetAssocCache:
             self._hits.value += 1
             if self.tracer is not None:
                 self.tracer.emit(
-                    self._component,
+                    self.component_name,
                     "hit",
                     addr=block,
                     set_index=self.set_index_of(block),
@@ -124,7 +121,7 @@ class SetAssocCache:
         self._misses.value += 1
         if self.tracer is not None:
             self.tracer.emit(
-                self._component,
+                self.component_name,
                 "miss",
                 addr=block,
                 set_index=self.set_index_of(block),
@@ -168,14 +165,14 @@ class SetAssocCache:
             self._evictions.value += 1
         if self.tracer is not None:
             self.tracer.emit(
-                self._component,
+                self.component_name,
                 "fill",
                 addr=block,
                 set_index=self.set_index_of(block),
             )
             if evicted_addr is not None:
                 self.tracer.emit(
-                    self._component,
+                    self.component_name,
                     "evict",
                     addr=evicted_addr,
                     set_index=self.set_index_of(block),

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import DramConfig
+from repro.core import Component
 from repro.mem.block import bank_of
 from repro.trace.counters import CounterRegistry
 
@@ -21,7 +22,7 @@ class _BankState:
     busy_until: int = 0
 
 
-class DramModel:
+class DramModel(Component):
     """A rank of open-row banks with per-bank busy tracking."""
 
     def __init__(self, config: DramConfig) -> None:
@@ -33,11 +34,9 @@ class DramModel:
         self._row_hits = self.counters.counter("row_hits")
         self._row_misses = self.counters.counter("row_misses")
         self.counters.gauge("max_busy_until", self.max_busy_until)
-        # Optional fault-injection observer (see ``repro.faults.hooks``);
-        # notified on every access so campaigns can trigger on DRAM events.
-        self.fault_hook = None
-        # Optional trace sink (see ``repro.trace``).
-        self.tracer = None
+        # Instrument slots (tracer for every access, fault_hook for
+        # campaign triggers) are created detached by the component graph.
+        self.init_component("dram")
 
     # ------------------------------------------------------------------
     # Legacy tally attributes (now registry-backed)

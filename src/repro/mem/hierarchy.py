@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import SecureProcessorConfig
+from repro.core import Component
 from repro.mem.block import block_address
 from repro.mem.cache import SetAssocCache
 
@@ -28,15 +29,19 @@ class HierarchyResult:
     writebacks: list[int] = field(default_factory=list)
 
 
-class CoreCaches:
+class CoreCaches(Component):
     """The private L1/L2 pair of one core."""
 
-    def __init__(self, config: SecureProcessorConfig) -> None:
+    def __init__(self, config: SecureProcessorConfig, index: int = 0) -> None:
         self.l1 = SetAssocCache(config.l1)
         self.l2 = SetAssocCache(config.l2)
+        self.init_component(f"core{index}.caches")
+
+    def children(self):
+        return (self.l1, self.l2)
 
 
-class DataCacheSystem:
+class DataCacheSystem(Component):
     """All data caches of the machine (cores x sockets).
 
     The hierarchy is kept inclusive: a fill installs the block at every
@@ -51,8 +56,12 @@ class DataCacheSystem:
         if config.cores % config.sockets != 0:
             raise ValueError("cores must divide evenly across sockets")
         self.cores_per_socket = config.cores // config.sockets
-        self.core_caches = [CoreCaches(config) for _ in range(config.cores)]
+        self.core_caches = [CoreCaches(config, i) for i in range(config.cores)]
         self.l3s = [SetAssocCache(config.l3) for _ in range(config.sockets)]
+        self.init_component("caches")
+
+    def children(self):
+        return (*self.core_caches, *self.l3s)
 
     def socket_of(self, core: int) -> int:
         return core // self.cores_per_socket

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.config import DramConfig, MemCtrlConfig
+from repro.core import NULL_TXN, Component, Txn
 from repro.mem.block import block_address
 from repro.mem.dram import DramModel
 from repro.trace.counters import CounterRegistry
@@ -43,7 +44,7 @@ class WriteQueueEntry:
     merged: int = 0
 
 
-class MemoryController:
+class MemoryController(Component):
     """FR-FCFS-flavoured controller front-ending one DRAM rank."""
 
     def __init__(self, config: MemCtrlConfig, dram_config: DramConfig) -> None:
@@ -58,11 +59,12 @@ class MemoryController:
         self._drains = self.counters.counter("drains")
         self._writes_dropped = self.counters.counter("writes_dropped")
         self.counters.gauge("write_queue_depth", self.pending_writes)
-        # Optional fault-injection observer (see ``repro.faults.hooks``);
-        # may drop or reorder the drain burst's entries.
-        self.fault_hook = None
-        # Optional trace sink (see ``repro.trace``).
-        self.tracer = None
+        # Instrument slots (tracer, fault_hook — the latter may drop or
+        # reorder drain bursts) are created detached by the component graph.
+        self.init_component("memctrl")
+
+    def children(self):
+        return (self.dram,)
 
     # ------------------------------------------------------------------
     # Legacy tally attributes (now registry-backed)
@@ -116,21 +118,17 @@ class MemoryController:
     # Reads
     # ------------------------------------------------------------------
 
-    def read_block(
-        self, addr: int, now: int, parts: list[tuple[int, int, int]] | None = None
-    ) -> int:
+    def read_block(self, addr: int, now: int, txn: Txn = NULL_TXN) -> int:
         """Service a block read at cycle ``now``; return its latency.
 
-        When ``parts`` is a list (cycle-attribution profiling), one
-        ``(queue, service, forward)`` tuple is appended per call whose sum
-        equals the returned latency: ``queue`` is enqueue plus bank wait,
-        ``service`` the DRAM row service plus bus transfer, and ``forward``
-        the store-to-load forward out of the write queue.
+        While the transaction is profiling, the latency is charged in
+        parts whose sum equals the return value: ``queue`` (enqueue plus
+        bank wait), ``service`` (DRAM row service plus bus transfer) and
+        ``forward`` (store-to-load forward out of the write queue).
         """
         block = block_address(addr)
         if block in self._write_queue:
-            if parts is not None:
-                parts.append((0, 0, _FORWARD_LATENCY))
+            txn.charge("forward", _FORWARD_LATENCY)
             if self.tracer is not None:
                 self.tracer.emit(
                     "memctrl", "read_forward", cycle=now, addr=block,
@@ -139,8 +137,8 @@ class MemoryController:
             return _FORWARD_LATENCY
         self._reads_serviced.value += 1
         wait, service = self.dram.access_parts(block, now + _ENQUEUE_LATENCY)
-        if parts is not None:
-            parts.append((_ENQUEUE_LATENCY + wait, service, 0))
+        txn.charge("queue", _ENQUEUE_LATENCY + wait)
+        txn.charge("service", service)
         latency = _ENQUEUE_LATENCY + wait + service
         if self.tracer is not None:
             self.tracer.emit(

@@ -84,6 +84,9 @@ class CycleAttributor:
     list, oldest dropped first) for fine-grained inspection.
     """
 
+    #: Component-graph slot this instrument occupies (``repro.core``).
+    instrument_slot = "profiler"
+
     def __init__(
         self, *, keep_records: bool = False, record_capacity: int = 1 << 16
     ) -> None:

@@ -73,6 +73,9 @@ class MetricsSampler:
     resolution for unbounded run length.
     """
 
+    #: Component-graph slot this instrument occupies (``repro.core``).
+    instrument_slot = "sampler"
+
     def __init__(
         self,
         registry: CounterRegistry,

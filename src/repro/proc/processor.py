@@ -21,6 +21,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import BLOCK_SIZE, SecureProcessorConfig
+from repro.core import (
+    FAULT_HOOK,
+    NULL_TXN,
+    PROFILER,
+    SAMPLER,
+    TRACER,
+    Component,
+    Txn,
+    slot_of,
+)
+from repro.core import attach as graph_attach
+from repro.core import detach as graph_detach
 from repro.mem.block import block_address
 from repro.mem.hierarchy import DataCacheSystem
 from repro.mem.memctrl import MemoryController
@@ -59,8 +71,17 @@ class ProcessorStats:
         self.path_counts[path] = self.path_counts.get(path, 0) + 1
 
 
-class SecureProcessor:
-    """A multi-core secure processor per Table I."""
+class SecureProcessor(Component):
+    """A multi-core secure processor per Table I.
+
+    The processor is the root of the component graph (``repro.core``):
+    ``attach`` installs an instrument — tracer, fault hook, cycle
+    attributor, metrics sampler — across the whole machine in one walk,
+    and every software-visible operation runs under a per-access
+    :class:`~repro.core.Txn` created by :meth:`_begin`.
+    """
+
+    instrument_slots = (TRACER, FAULT_HOOK, PROFILER, SAMPLER)
 
     def __init__(self, config: SecureProcessorConfig | None = None) -> None:
         self.config = config or SecureProcessorConfig.sct_default()
@@ -84,57 +105,122 @@ class SecureProcessor:
         if self.mee.tree_cache is not self.mee.meta_cache:
             self.registry.mount("tree_cache", self.mee.tree_cache.counters)
         self.registry.mount("crypto", self.mee.cipher.counters)
-        # Optional trace sink (see ``repro.trace``); None keeps every
-        # instrumented path down to a single attribute test.
-        self.tracer = None
-        # Optional cycle attributor and metrics sampler (see ``repro.perf``);
-        # same contract: None keeps hot paths to one attribute test each.
-        self.profiler = None
-        self.sampler = None
+        # Instrument slots (tracer, fault hook, profiler, sampler) start
+        # detached; None keeps every instrumented path down to a single
+        # attribute test.
+        self.init_component("proc")
         # Architectural (software-visible) values of written blocks.
         self._plain: dict[int, bytes] = {}
         from repro.utils.rng import derive_rng
 
         self._timer_rng = derive_rng(self.config.seed, "timer")
 
+    def children(self):
+        return (self.caches, self.mee)
+
+    # ------------------------------------------------------------------
+    # Instrument attachment (component graph root)
+    # ------------------------------------------------------------------
+
+    def attach(self, instrument, *, slot: str | None = None) -> int:
+        """Install an instrument across the whole machine in one walk.
+
+        The slot is inferred from the instrument's ``instrument_slot``
+        class attribute (``repro.trace.Tracer`` → ``tracer``,
+        ``repro.faults.FaultHook`` → ``fault_hook``,
+        ``repro.perf.CycleAttributor`` → ``profiler``,
+        ``repro.perf.MetricsSampler`` → ``sampler``) unless given
+        explicitly.  Tracers get their clock bound to this processor's
+        cycle counter; samplers take an initial snapshot.  Returns the
+        number of components reached; :func:`repro.core.detach` (or the
+        legacy ``attach_*(None)`` shims) restores the no-op fast path.
+        """
+        slot = slot if slot is not None else slot_of(instrument)
+        if slot == TRACER and instrument is not None:
+            instrument.bind_clock(lambda: self.cycle)
+        count = graph_attach(self, instrument, slot=slot)
+        if slot == SAMPLER and instrument is not None:
+            instrument.on_cycle(self.cycle)
+        return count
+
     def attach_tracer(self, tracer) -> None:
         """Thread one trace sink through the whole machine.
 
-        Binds the tracer's clock to this processor's cycle counter (so
-        components that have no notion of time stamp events correctly) and
-        attaches it to every cache, the memory controller, DRAM and the
-        memory encryption engine.  ``None`` detaches everywhere.
+        Deprecated shim over :meth:`attach`.  Binds the tracer's clock to
+        this processor's cycle counter (so components that have no notion
+        of time stamp events correctly) and attaches it to every cache,
+        the memory controller, DRAM and the memory encryption engine.
+        ``None`` detaches everywhere.
         """
-        self.tracer = tracer
-        if tracer is not None:
-            tracer.bind_clock(lambda: self.cycle)
-        for core in self.caches.core_caches:
-            core.l1.tracer = tracer
-            core.l2.tracer = tracer
-        for l3 in self.caches.l3s:
-            l3.tracer = tracer
-        self.mee.attach_tracer(tracer)
+        if tracer is None:
+            graph_detach(self, TRACER)
+        else:
+            self.attach(tracer, slot=TRACER)
 
     def attach_profiler(self, profiler) -> None:
         """Attach a cycle attributor (``repro.perf.CycleAttributor``).
 
-        While attached, every software-visible operation reports its
-        latency as a per-component breakdown whose sum equals the access's
-        pre-jitter latency (the conservation guarantee).  ``None`` detaches
-        and restores the zero-overhead path.
+        Deprecated shim over :meth:`attach`.  While attached, every
+        software-visible operation reports its latency as a per-component
+        breakdown whose sum equals the access's pre-jitter latency (the
+        conservation guarantee).  ``None`` detaches and restores the
+        zero-overhead path.
         """
-        self.profiler = profiler
+        if profiler is None:
+            graph_detach(self, PROFILER)
+        else:
+            self.attach(profiler, slot=PROFILER)
 
     def attach_sampler(self, sampler) -> None:
         """Attach a metrics sampler (``repro.perf.MetricsSampler``).
 
-        The sampler snapshots ``self.registry`` every N simulated cycles,
-        ticked from the operations that advance the machine clock.
-        ``None`` detaches.
+        Deprecated shim over :meth:`attach`.  The sampler snapshots
+        ``self.registry`` every N simulated cycles, ticked from the
+        operations that advance the machine clock.  ``None`` detaches.
         """
-        self.sampler = sampler
-        if sampler is not None:
-            sampler.on_cycle(self.cycle)
+        if sampler is None:
+            graph_detach(self, SAMPLER)
+        else:
+            self.attach(sampler, slot=SAMPLER)
+
+    # ------------------------------------------------------------------
+    # Per-access transactions
+    # ------------------------------------------------------------------
+
+    def _begin(self, op: str, core: int, addr: int | None) -> Txn:
+        """Open the transaction for one software-visible operation.
+
+        Returns the shared no-op :data:`~repro.core.NULL_TXN` when nothing
+        is attached anywhere — the zero-overhead fast path allocates
+        nothing.  Otherwise the transaction carries the attached tracer
+        and the engine's fault hook down the memory path, and builds
+        attribution parts only while a profiler is attached.
+        """
+        if (
+            self.tracer is None
+            and self.profiler is None
+            and self.mee.fault_hook is None
+        ):
+            return NULL_TXN
+        return Txn(
+            op,
+            core,
+            addr,
+            tracer=self.tracer,
+            fault_hook=self.mee.fault_hook,
+            profiling=self.profiler is not None,
+        )
+
+    def _finish(self, txn: Txn, *, path: AccessPath | None, latency: int) -> None:
+        """Close a transaction: report attribution, tick the sampler."""
+        if txn.profiling:
+            self.profiler.on_access(
+                op=txn.op, path=path, core=txn.core, addr=txn.addr,
+                cycle=self.cycle, latency=latency, parts=txn.parts,
+                shadowed=txn.shadowed or None,
+            )
+        if self.sampler is not None:
+            self.sampler.on_cycle(self.cycle)
 
     def _observed(self, latency: int) -> int:
         """Latency as software measures it (with modeled timer noise)."""
@@ -176,6 +262,7 @@ class SecureProcessor:
         self._check_data_addr(addr)
         self.stats.reads += 1
         block = block_address(addr)
+        txn = self._begin("read", core, block)
         hier = self.caches.access(core, block, is_write=False)
         if hier.hit_level is not None:
             path = (AccessPath.L1_HIT, AccessPath.L2_HIT, AccessPath.L3_HIT)[
@@ -183,45 +270,29 @@ class SecureProcessor:
             ]
             self.stats.count(path)
             self.cycle += hier.latency
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "proc", "read", core=core, addr=block, value=float(hier.latency)
-                )
-            breakdown = None
-            if self.profiler is not None:
-                breakdown = self._profile_hit(
-                    "read", path, hier, core=core, addr=block
-                )
-            if self.sampler is not None:
-                self.sampler.on_cycle(self.cycle)
+            txn.emit(
+                "proc", "read", core=core, addr=block, value=float(hier.latency)
+            )
+            txn.charge(f"cache.l{hier.hit_level}_hit", hier.latency)
+            self._finish(txn, path=path, latency=hier.latency)
             return AccessResult(
                 latency=self._observed(hier.latency),
                 path=path,
                 cycle=self.cycle,
                 data=self._plain.get(block, bytes(BLOCK_SIZE)),
-                breakdown=breakdown,
+                breakdown=txn.parts,
             )
         self._handle_writebacks(hier.writebacks)
-        outcome = self.mee.read_data(
-            block, self.cycle + hier.latency, breakdown=self.profiler is not None
-        )
+        txn.charge("cache.lookup", hier.latency)
+        outcome = self.mee.read_data(block, self.cycle + hier.latency, txn=txn)
         for writeback in self.caches.fill(core, block, dirty=False):
             self._enqueue_data_writeback(writeback)
         latency = hier.latency + outcome.latency
         self.cycle += latency
         path = self._classify(outcome.counter_hit, outcome.tree_levels_missed)
         self.stats.count(path)
-        if self.tracer is not None:
-            self.tracer.emit(
-                "proc", "read", core=core, addr=block, value=float(latency)
-            )
-        breakdown = None
-        if self.profiler is not None:
-            breakdown = self._profile_miss(
-                "read", path, hier, outcome, latency, core=core, addr=block
-            )
-        if self.sampler is not None:
-            self.sampler.on_cycle(self.cycle)
+        txn.emit("proc", "read", core=core, addr=block, value=float(latency))
+        self._finish(txn, path=path, latency=latency)
         return AccessResult(
             latency=self._observed(latency),
             path=path,
@@ -229,7 +300,7 @@ class SecureProcessor:
             counter_hit=outcome.counter_hit,
             tree_levels_missed=outcome.tree_levels_missed,
             data=outcome.plaintext,
-            breakdown=breakdown,
+            breakdown=txn.parts,
         )
 
     def write(
@@ -240,56 +311,41 @@ class SecureProcessor:
         self.stats.writes += 1
         block = block_address(addr)
         self._plain[block] = self._coerce_data(block, data)
+        txn = self._begin("write", core, block)
         hier = self.caches.access(core, block, is_write=True)
         if hier.hit_level is not None:
             self.cycle += hier.latency
             path = (AccessPath.L1_HIT, AccessPath.L2_HIT, AccessPath.L3_HIT)[
                 hier.hit_level - 1
             ]
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "proc", "write", core=core, addr=block, value=float(hier.latency)
-                )
-            breakdown = None
-            if self.profiler is not None:
-                breakdown = self._profile_hit(
-                    "write", path, hier, core=core, addr=block
-                )
-            if self.sampler is not None:
-                self.sampler.on_cycle(self.cycle)
+            txn.emit(
+                "proc", "write", core=core, addr=block, value=float(hier.latency)
+            )
+            txn.charge(f"cache.l{hier.hit_level}_hit", hier.latency)
+            self._finish(txn, path=path, latency=hier.latency)
             return AccessResult(
                 latency=hier.latency, path=path, cycle=self.cycle,
-                breakdown=breakdown,
+                breakdown=txn.parts,
             )
         self._handle_writebacks(hier.writebacks)
+        txn.charge("cache.lookup", hier.latency)
         # Fetch-for-write: the miss path is the same as a read.
-        outcome = self.mee.read_data(
-            block, self.cycle + hier.latency, breakdown=self.profiler is not None
-        )
+        outcome = self.mee.read_data(block, self.cycle + hier.latency, txn=txn)
         for writeback in self.caches.fill(core, block, dirty=True):
             self._enqueue_data_writeback(writeback)
         latency = hier.latency + outcome.latency
         self.cycle += latency
         path = self._classify(outcome.counter_hit, outcome.tree_levels_missed)
         self.stats.count(path)
-        if self.tracer is not None:
-            self.tracer.emit(
-                "proc", "write", core=core, addr=block, value=float(latency)
-            )
-        breakdown = None
-        if self.profiler is not None:
-            breakdown = self._profile_miss(
-                "write", path, hier, outcome, latency, core=core, addr=block
-            )
-        if self.sampler is not None:
-            self.sampler.on_cycle(self.cycle)
+        txn.emit("proc", "write", core=core, addr=block, value=float(latency))
+        self._finish(txn, path=path, latency=latency)
         return AccessResult(
             latency=latency,
             path=path,
             cycle=self.cycle,
             counter_hit=outcome.counter_hit,
             tree_levels_missed=outcome.tree_levels_missed,
-            breakdown=breakdown,
+            breakdown=txn.parts,
         )
 
     def write_through(
@@ -300,68 +356,48 @@ class SecureProcessor:
         self.stats.writes += 1
         block = block_address(addr)
         self._plain[block] = self._coerce_data(block, data)
+        txn = self._begin("write_through", core, block)
         self.caches.flush(block)  # drop any stale cached copy
         enqueue = self.mee.write_data(block, self._plain[block], self.cycle)
         latency = _STORE_BUFFER_LATENCY + enqueue
         self.cycle += latency
-        if self.tracer is not None:
-            self.tracer.emit(
-                "proc", "write_through", core=core, addr=block, value=float(latency)
-            )
-        breakdown = None
-        if self.profiler is not None:
-            breakdown = {"op.store_buffer": _STORE_BUFFER_LATENCY,
-                         "op.enqueue": enqueue}
-            self.profiler.on_access(
-                op="write_through", path=None, core=core, addr=block,
-                cycle=self.cycle, latency=latency, parts=breakdown,
-            )
-        if self.sampler is not None:
-            self.sampler.on_cycle(self.cycle)
+        txn.emit(
+            "proc", "write_through", core=core, addr=block, value=float(latency)
+        )
+        txn.charge("op.store_buffer", _STORE_BUFFER_LATENCY)
+        txn.charge("op.enqueue", enqueue)
+        self._finish(txn, path=None, latency=latency)
         return AccessResult(
             latency=latency, path=AccessPath.L1_HIT, cycle=self.cycle,
-            breakdown=breakdown,
+            breakdown=txn.parts,
         )
 
     def flush(self, addr: int, *, keep_clean_copy: bool = False) -> int:
         """clflush: drop the block from every cache; write back if dirty."""
         self.stats.flushes += 1
         block = block_address(addr)
+        txn = self._begin("flush", -1, block)
         was_dirty, writebacks = self.caches.flush(block)
         del keep_clean_copy  # reserved for a clwb variant; clflush drops
         if was_dirty:
             for writeback in writebacks:
                 self._enqueue_data_writeback(writeback)
         self.cycle += _FLUSH_LATENCY
-        if self.tracer is not None:
-            self.tracer.emit(
-                "proc", "flush", addr=block, value=float(was_dirty)
-            )
-        if self.profiler is not None:
-            self.profiler.on_access(
-                op="flush", path=None, core=-1, addr=block, cycle=self.cycle,
-                latency=_FLUSH_LATENCY, parts={"op.flush": _FLUSH_LATENCY},
-            )
-        if self.sampler is not None:
-            self.sampler.on_cycle(self.cycle)
+        txn.emit("proc", "flush", addr=block, value=float(was_dirty))
+        txn.charge("op.flush", _FLUSH_LATENCY)
+        self._finish(txn, path=None, latency=_FLUSH_LATENCY)
         return _FLUSH_LATENCY
 
     def drain_writes(self) -> None:
         """Fence: force the MC write queue to service everything queued."""
-        if self.tracer is not None:
-            self.tracer.emit("proc", "drain")
+        txn = self._begin("drain", -1, None)
+        txn.emit("proc", "drain")
         self.memctrl.drain(self.cycle)
         self.cycle += _STORE_BUFFER_LATENCY
-        if self.profiler is not None:
-            # The drain burst itself is posted background work; only the
-            # fence's store-buffer cost lands on the issuing core.
-            self.profiler.on_access(
-                op="drain", path=None, core=-1, addr=None, cycle=self.cycle,
-                latency=_STORE_BUFFER_LATENCY,
-                parts={"op.store_buffer": _STORE_BUFFER_LATENCY},
-            )
-        if self.sampler is not None:
-            self.sampler.on_cycle(self.cycle)
+        # The drain burst itself is posted background work; only the
+        # fence's store-buffer cost lands on the issuing core.
+        txn.charge("op.store_buffer", _STORE_BUFFER_LATENCY)
+        self._finish(txn, path=None, latency=_STORE_BUFFER_LATENCY)
 
     def timed_read(self, addr: int, *, core: int = 0) -> int:
         """Read and return only the measured latency (rdtscp-style)."""
@@ -393,30 +429,6 @@ class SecureProcessor:
         self.mee.write_data(
             block, self._plain.get(block, bytes(BLOCK_SIZE)), self.cycle
         )
-
-    def _profile_hit(
-        self, op: str, path: AccessPath, hier, *, core: int, addr: int
-    ) -> dict[str, int]:
-        """Report a cache-hit access to the attached profiler."""
-        parts = {f"cache.l{hier.hit_level}_hit": hier.latency}
-        self.profiler.on_access(
-            op=op, path=path, core=core, addr=addr, cycle=self.cycle,
-            latency=hier.latency, parts=parts,
-        )
-        return parts
-
-    def _profile_miss(
-        self, op: str, path: AccessPath, hier, outcome, latency: int,
-        *, core: int, addr: int,
-    ) -> dict[str, int]:
-        """Report a memory-path access: hierarchy lookup + MEE breakdown."""
-        parts = {"cache.lookup": hier.latency}
-        parts.update(outcome.breakdown)
-        self.profiler.on_access(
-            op=op, path=path, core=core, addr=addr, cycle=self.cycle,
-            latency=latency, parts=parts, shadowed=outcome.shadowed,
-        )
-        return parts
 
     @staticmethod
     def _classify(counter_hit: bool, tree_levels_missed: int) -> AccessPath:

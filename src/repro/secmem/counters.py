@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import CounterConfig, CounterScheme
+from repro.core import Component
 from repro.secmem.layout import MetadataLayout
 
 
@@ -47,7 +48,7 @@ class _SplitCounterBlock:
     minors: list[int] = field(default_factory=list)
 
 
-class EncryptionCounterStore:
+class EncryptionCounterStore(Component):
     """Sparse store of encryption counters for the protected region."""
 
     def __init__(self, config: CounterConfig, layout: MetadataLayout) -> None:
@@ -66,8 +67,9 @@ class EncryptionCounterStore:
         self._written: set[int] = set()
         self.key_epoch = 0
         self.overflows = 0
-        # Optional fault-injection observer (see ``repro.faults.hooks``).
-        self.fault_hook = None
+        # Instrument slots (the fault hook observes counter increments)
+        # are created detached by the component graph.
+        self.init_component("counters")
 
     # ------------------------------------------------------------------
     # Queries

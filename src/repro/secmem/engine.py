@@ -28,6 +28,16 @@ from repro.config import (
     SecureProcessorConfig,
     TreeUpdatePolicy,
 )
+from repro.core import (
+    FAULT_HOOK,
+    NULL_TXN,
+    TRACER,
+    Component,
+    Txn,
+    adopt,
+    attach,
+    detach,
+)
 from repro.crypto.engine import CounterModeEngine
 from repro.crypto.mac import MacEngine
 from repro.crypto.prf import keyed_prf, node_hash
@@ -66,23 +76,6 @@ class ReadOutcome:
     shadowed: dict[str, int] | None = None
 
 
-def _fold_read_parts(
-    into: dict[str, int],
-    prefix: str,
-    reads: list[tuple[int, int, int]] | None,
-) -> None:
-    """Fold memctrl ``(queue, service, forward)`` tuples into component keys."""
-    if not reads:
-        return
-    for queue, service, forward in reads:
-        if queue:
-            into[f"{prefix}.queue"] = into.get(f"{prefix}.queue", 0) + queue
-        if service:
-            into[f"{prefix}.service"] = into.get(f"{prefix}.service", 0) + service
-        if forward:
-            into[f"{prefix}.forward"] = into.get(f"{prefix}.forward", 0) + forward
-
-
 @dataclass
 class EngineStats:
     reads: int = 0
@@ -96,7 +89,7 @@ class EngineStats:
     tree_levels_missed_histogram: dict[int, int] = field(default_factory=dict)
 
 
-class MemoryEncryptionEngine:
+class MemoryEncryptionEngine(Component):
     """Counter-mode encryption + integrity verification over one MC."""
 
     def __init__(self, config: SecureProcessorConfig, memctrl: MemoryController) -> None:
@@ -133,48 +126,49 @@ class MemoryEncryptionEngine:
         # Plaintext pending in the write queue, consumed at service time.
         self._pending_plain: dict[int, bytes] = {}
         self.stats = EngineStats()
-        # Optional fault-injection observer (see ``repro.faults.hooks``);
-        # notified right before metadata fetched from memory is verified,
-        # so campaigns can model corrupt-on-fill faults.
-        self.fault_hook = None
-        # Optional trace sink (see ``repro.trace``); attached via
-        # ``attach_tracer`` so every memory-side layer shares one bus.
-        self.tracer = None
+        # Instrument slots (tracer + fault hook, shared by every
+        # memory-side layer via the component graph) start detached; the
+        # fault hook is notified right before metadata fetched from memory
+        # is verified, so campaigns can model corrupt-on-fill faults.
+        self.init_component("mee")
         if config.isolated_trees and config.tree_update_policy is not TreeUpdatePolicy.LAZY:
             raise ValueError("isolated trees are implemented for the lazy policy")
         memctrl.set_write_sink(self._service_write)
 
+    def children(self):
+        kids = [self.memctrl, self.counters, self.cipher, self.meta_cache]
+        if self.tree_cache is not self.meta_cache:
+            kids.append(self.tree_cache)
+        kids.extend(self._domain_trees.values())
+        return tuple(kids)
+
     def install_fault_hook(self, hook) -> None:
         """Thread one fault-injection hook through every memory-side layer.
 
-        The hook (a ``repro.faults.hooks.FaultHook``) observes DRAM
-        accesses, write-queue drains, cache fills, counter increments and
-        metadata fetches; ``None`` detaches everywhere.
+        Deprecated shim over the component graph: equivalent to
+        ``repro.core.attach(engine, hook)``.  The hook (a
+        ``repro.faults.hooks.FaultHook``) observes DRAM accesses,
+        write-queue drains, cache fills, counter increments and metadata
+        fetches; ``None`` detaches everywhere.
         """
-        self.fault_hook = hook
-        self.memctrl.fault_hook = hook
-        self.memctrl.dram.fault_hook = hook
-        self.counters.fault_hook = hook
-        self.meta_cache.fault_hook = hook
-        if self.tree_cache is not self.meta_cache:
-            self.tree_cache.fault_hook = hook
+        if hook is None:
+            detach(self, FAULT_HOOK)
+        else:
+            attach(self, hook, slot=FAULT_HOOK)
 
     def attach_tracer(self, tracer) -> None:
         """Thread one trace sink through every memory-side layer.
 
-        The tracer (a ``repro.trace.Tracer``) receives metadata-cache
-        hits/misses, tree walks and updates, counter overflows, write-queue
-        activity and DRAM accesses; ``None`` detaches everywhere.
+        Deprecated shim over the component graph: equivalent to
+        ``repro.core.attach(engine, tracer)``.  The tracer (a
+        ``repro.trace.Tracer``) receives metadata-cache hits/misses, tree
+        walks and updates, counter overflows, write-queue activity and
+        DRAM accesses; ``None`` detaches everywhere.
         """
-        self.tracer = tracer
-        self.memctrl.tracer = tracer
-        self.memctrl.dram.tracer = tracer
-        self.cipher.tracer = tracer
-        self.meta_cache.tracer = tracer
-        if self.tree_cache is not self.meta_cache:
-            self.tree_cache.tracer = tracer
-        for tree in self._domain_trees.values():
-            tree.tracer = tracer
+        if tracer is None:
+            detach(self, TRACER)
+        else:
+            attach(self, tracer, slot=TRACER)
 
     # ------------------------------------------------------------------
     # Per-domain isolated trees (Section IX-C mitigation)
@@ -200,7 +194,9 @@ class MemoryEncryptionEngine:
             tree = build_tree(
                 self.config, self.layout, key, self.counters.counter_block_image
             )
-            tree.tracer = self.tracer
+            # Late-created component: inherit whatever instruments are
+            # already attached to the engine (tracer, fault hook, ...).
+            adopt(self, tree)
             self._domain_trees[domain] = tree
         return tree
 
@@ -264,50 +260,54 @@ class MemoryEncryptionEngine:
     # ------------------------------------------------------------------
 
     def read_data(
-        self, addr: int, now: int, *, breakdown: bool = False
+        self, addr: int, now: int, txn: Txn = NULL_TXN, *, breakdown: bool = False
     ) -> ReadOutcome:
         """Service an LLC-missing read of a protected data block.
 
-        With ``breakdown=True`` (cycle-attribution profiling) the outcome
-        carries a per-component split of the returned latency; see
+        ``txn`` is the per-access transaction handed down by the
+        processor; while it is profiling, the latency is charged into it
+        in per-component parts (the data/metadata fetches overlap, so the
+        losing side of the ``max()`` race lands in the shadowed tally).
+        ``breakdown=True`` is the legacy direct-call form: the engine runs
+        its own transaction and returns the split on the outcome; see
         :class:`ReadOutcome` and ``docs/performance.md``.
         """
         block_addr = block_address(addr)
         if not self.layout.is_protected_data(block_addr):
             raise ValueError(f"address {addr:#x} is not protected data")
+        own = None
+        if breakdown and not txn.profiling:
+            own = txn = Txn("read", addr=block_addr, profiling=True)
         self.stats.reads += 1
         crypto = self.config.crypto
         cb_addr = self.layout.counter_block_addr(block_addr)
         cb_index = self.layout.counter_block_index(block_addr)
 
-        data_reads: list[tuple[int, int, int]] | None = [] if breakdown else None
-        data_latency = self.memctrl.read_block(block_addr, now, parts=data_reads)
+        data = txn.leg("data.")
+        data_latency = self.memctrl.read_block(block_addr, now, txn=data)
         if not crypto.mac_in_ecc:
             # Classical design: the MAC is a separate memory word fetched
             # on every read (constant extra latency, no state dependence).
             data_latency += self.memctrl.read_block(
-                self.layout.mac_addr(block_addr), now + data_latency,
-                parts=data_reads,
+                self.layout.mac_addr(block_addr), now + data_latency, txn=data
             )
         stall = max(0, self.memctrl.dram.busy_until(block_addr) - now - data_latency)
 
-        meta_parts: dict[str, int] | None = {} if breakdown else None
+        meta = txn.leg("meta.")
         counter_hit = self.meta_cache.lookup(cb_addr)
         levels_missed = 0
         if counter_hit:
             self.stats.counter_hits += 1
             meta_latency = self.config.metadata_cache.hit_latency
-            if meta_parts is not None:
-                meta_parts["meta.cache_hit"] = meta_latency
+            meta.charge("cache_hit", meta_latency)
             extra_crypto = max(0, crypto.aes_latency - data_latency)
         else:
             self.stats.counter_misses += 1
-            cb_reads: list[tuple[int, int, int]] | None = [] if breakdown else None
-            meta_latency = self.memctrl.read_block(cb_addr, now, parts=cb_reads)
-            if meta_parts is not None:
-                _fold_read_parts(meta_parts, "meta.counter", cb_reads)
+            counter_leg = meta.leg("counter.")
+            meta_latency = self.memctrl.read_block(cb_addr, now, txn=counter_leg)
+            meta.absorb(counter_leg)
             meta_latency, levels_missed = self._verify_walk(
-                cb_index, cb_addr, now, meta_latency, parts=meta_parts
+                cb_index, cb_addr, now, meta_latency, leg=meta
             )
             extra_crypto = crypto.aes_latency
         self.stats.tree_levels_missed_histogram[levels_missed] = (
@@ -335,23 +335,21 @@ class MemoryEncryptionEngine:
         else:
             plaintext = self._decrypt_and_authenticate(block_addr)
         latency = max(data_latency, meta_latency) + extra_crypto + crypto.mac_latency
+        # The data and metadata fetches overlap; only the slower side is
+        # on the critical path.  Its leg is absorbed into the attribution,
+        # the other side's cycles land in the shadowed tally.
+        if data_latency >= meta_latency:
+            txn.absorb(data)
+            txn.shadow(meta)
+        else:
+            txn.absorb(meta)
+            txn.shadow(data)
+        txn.charge("mee.decrypt", extra_crypto)
+        txn.charge("mee.mac", crypto.mac_latency)
         attributed = shadowed = None
-        if breakdown:
-            data_parts: dict[str, int] = {}
-            _fold_read_parts(data_parts, "data", data_reads)
-            # The data and metadata fetches overlap; only the slower side is
-            # on the critical path.  Its components are attributed, the
-            # other side's cycles are reported as shadowed.
-            if data_latency >= meta_latency:
-                critical, hidden = data_parts, meta_parts
-            else:
-                critical, hidden = meta_parts, data_parts
-            attributed = {key: value for key, value in critical.items() if value}
-            if extra_crypto:
-                attributed["mee.decrypt"] = extra_crypto
-            if crypto.mac_latency:
-                attributed["mee.mac"] = crypto.mac_latency
-            shadowed = {key: value for key, value in hidden.items() if value}
+        if own is not None:
+            attributed = dict(own.parts)
+            shadowed = dict(own.shadowed)
         return ReadOutcome(
             latency=latency,
             counter_hit=counter_hit,
@@ -368,14 +366,14 @@ class MemoryEncryptionEngine:
         cb_addr: int,
         now: int,
         meta_latency: int,
-        parts: dict[str, int] | None = None,
+        leg: Txn = NULL_TXN,
     ) -> tuple[int, int]:
         """Algorithm 2: load tree nodes bottom-up until a cached ancestor.
 
         Returns the accumulated metadata-path latency and the number of
-        tree node blocks that had to be fetched from memory.  ``parts``
-        (cycle-attribution profiling) accumulates the added cycles under
-        per-level ``meta.tree.l<level>.*`` component keys.
+        tree node blocks that had to be fetched from memory.  While
+        ``leg`` is profiling, the added cycles are charged under
+        per-level ``tree.l<level>.*`` keys within the leg's scope.
         """
         crypto = self.config.crypto
         domain = self._domain_of_cb(cb_index)
@@ -399,12 +397,8 @@ class MemoryEncryptionEngine:
                 # only bus serialisation plus its verification hash.
                 fetch = self.config.dram.bus_latency
             meta_latency += fetch + crypto.hash_latency
-            if parts is not None:
-                prefix = f"meta.tree.l{level}"
-                parts[f"{prefix}.fetch"] = parts.get(f"{prefix}.fetch", 0) + fetch
-                parts[f"{prefix}.hash"] = (
-                    parts.get(f"{prefix}.hash", 0) + crypto.hash_latency
-                )
+            leg.charge(f"tree.l{level}.fetch", fetch)
+            leg.charge(f"tree.l{level}.hash", crypto.hash_latency)
             if self.fault_hook is not None:
                 self.fault_hook.on_meta_fetch("node", level, index)
             try:
@@ -413,10 +407,7 @@ class MemoryEncryptionEngine:
                 raise IntegrityViolation(str(exc)) from exc
         # Verify the counter block itself against the leaf.
         meta_latency += crypto.hash_latency
-        if parts is not None:
-            parts["meta.counter.hash"] = (
-                parts.get("meta.counter.hash", 0) + crypto.hash_latency
-            )
+        leg.charge("counter.hash", crypto.hash_latency)
         if self.fault_hook is not None:
             self.fault_hook.on_meta_fetch("counter", 0, cb_index)
         self._verify_counter_block(cb_index)

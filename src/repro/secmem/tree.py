@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.config import SecureProcessorConfig, TreeKind
+from repro.core import Component
 from repro.crypto.prf import node_hash
 from repro.secmem.layout import MetadataLayout
 
@@ -64,7 +65,7 @@ class TreeUpdate:
 DefaultLeafImage = Callable[[int], tuple[int, ...]]
 
 
-class IntegrityTree(abc.ABC):
+class IntegrityTree(Component, abc.ABC):
     """Common interface consumed by the memory encryption engine."""
 
     def __init__(self, config: SecureProcessorConfig, layout: MetadataLayout, key: bytes) -> None:
@@ -72,9 +73,11 @@ class IntegrityTree(abc.ABC):
         self.layout = layout
         self.key = bytes(key)
         self.updates = 0
-        # Optional trace sink (see ``repro.trace``), attached by the MEE;
-        # event cycles come from the tracer's bound clock.
-        self.tracer = None
+        # Instrument slots are created detached; the MEE adopts each tree
+        # into the component graph so late-built (per-domain) trees inherit
+        # whatever is already attached.  Event cycles come from the
+        # tracer's bound clock.
+        self.init_component("tree")
 
     def _trace(self, kind: str, *, level: int | None = None,
                index: int | None = None, value: float | None = None) -> None:

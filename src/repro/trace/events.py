@@ -55,6 +55,9 @@ class Tracer:
     until :meth:`clear`.
     """
 
+    #: Component-graph slot this instrument occupies (``repro.core``).
+    instrument_slot = "tracer"
+
     def __init__(self, capacity: int = 1 << 16) -> None:
         if capacity <= 0:
             raise ValueError("tracer capacity must be positive")
