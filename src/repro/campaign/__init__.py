@@ -1,0 +1,38 @@
+"""Crash-isolated sharded campaign engine with a persistent result cache.
+
+Every expensive workload in the repro — figure regeneration, fault
+campaigns, leakcheck seed-sweeps, the bench suite — is a batch of
+independent seeded runs.  This package executes such batches across
+worker processes with deterministic results (serial and ``--jobs N``
+runs are byte-identical), reaps crashed or hung workers and retries
+their tasks, and memoises every successful run in a sqlite campaign DB
+keyed by config hash + git revision so unchanged re-runs are served
+from cache.  See ``docs/robustness.md``.
+"""
+
+from repro.campaign.db import CampaignDB, RunRow, config_hash
+from repro.campaign.engine import (
+    CampaignEngine,
+    CampaignTask,
+    derive_task_seed,
+)
+from repro.campaign.payload import (
+    PayloadError,
+    decode_payload,
+    encode_payload,
+)
+from repro.campaign.worker import TEST_CRASH_ENV, TEST_CRASH_EXIT
+
+__all__ = [
+    "CampaignDB",
+    "CampaignEngine",
+    "CampaignTask",
+    "PayloadError",
+    "RunRow",
+    "TEST_CRASH_ENV",
+    "TEST_CRASH_EXIT",
+    "config_hash",
+    "decode_payload",
+    "derive_task_seed",
+    "encode_payload",
+]

@@ -1,0 +1,177 @@
+"""Persistent sqlite campaign DB: every run's provenance and payload.
+
+One row per *executed* task attempt-chain: config hash, seed, git rev,
+terminal status, timing, and (for successes) the result payload in the
+deterministic :mod:`repro.campaign.payload` encoding.  The cache
+contract is strict — a row is served only when config hash *and* git
+revision match and the stored payload decodes — so a code change, a
+kwarg change, or a corrupted row all degrade to a cache miss, never to
+a stale result.
+
+Only the campaign coordinator touches the DB (workers ship results back
+over pipes), so there is no cross-process write contention; WAL mode
+still keeps concurrent read-only inspection (``sqlite3 campaign.db``)
+safe while a campaign is in flight.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.campaign.payload import PayloadError, encode_payload
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    config_hash TEXT NOT NULL,
+    git_rev TEXT NOT NULL,
+    name TEXT NOT NULL,
+    seed INTEGER,
+    status TEXT NOT NULL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    elapsed REAL NOT NULL DEFAULT 0.0,
+    error TEXT NOT NULL DEFAULT '',
+    detail TEXT NOT NULL DEFAULT '',
+    payload TEXT,
+    created REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_key ON runs (config_hash, git_rev, status);
+"""
+
+
+def config_hash(name: str, fn: Callable[..., Any], kwargs: dict[str, Any]) -> str:
+    """Stable identity of one task configuration.
+
+    Hashes the task name, the function's import path, and the kwargs in
+    the canonical payload encoding, so the key survives process restarts
+    and is independent of shard assignment or execution order.  Kwarg
+    values the payload codec cannot encode fall back to ``repr`` — still
+    deterministic for the plain-Python values task specs carry.
+    """
+    parts = [name, f"{getattr(fn, '__module__', '?')}:{getattr(fn, '__qualname__', repr(fn))}"]
+    for key in sorted(kwargs):
+        try:
+            encoded = encode_payload(kwargs[key])
+        except PayloadError:
+            encoded = repr(kwargs[key])
+        parts.append(f"{key}={encoded}")
+    digest = hashlib.blake2b("\x1f".join(parts).encode(), digest_size=16)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunRow:
+    """One persisted campaign run."""
+
+    config_hash: str
+    git_rev: str
+    name: str
+    seed: int | None
+    status: str
+    attempts: int
+    elapsed: float
+    error: str
+    detail: str
+    payload: str | None
+    created: float
+
+
+class CampaignDB:
+    """Append-mostly store of campaign runs keyed by (config hash, git rev)."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)),
+        )
+        self._conn.commit()
+
+    # -- writes ------------------------------------------------------------
+
+    def record_run(
+        self,
+        *,
+        config_hash: str,
+        git_rev: str,
+        name: str,
+        seed: int | None,
+        status: str,
+        attempts: int,
+        elapsed: float,
+        error: str = "",
+        detail: str = "",
+        payload: str | None = None,
+    ) -> None:
+        """Persist one executed task's terminal outcome."""
+        self._conn.execute(
+            "INSERT INTO runs (config_hash, git_rev, name, seed, status,"
+            " attempts, elapsed, error, detail, payload, created)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                config_hash, git_rev, name, seed, status,
+                attempts, elapsed, error, detail, payload, time.time(),
+            ),
+        )
+        self._conn.commit()
+
+    # -- reads -------------------------------------------------------------
+
+    def lookup(self, config_hash: str, git_rev: str) -> RunRow | None:
+        """Latest successful run with a payload for this exact config + rev."""
+        cur = self._conn.execute(
+            "SELECT config_hash, git_rev, name, seed, status, attempts,"
+            " elapsed, error, detail, payload, created FROM runs"
+            " WHERE config_hash = ? AND git_rev = ? AND status = 'ok'"
+            " AND payload IS NOT NULL ORDER BY id DESC LIMIT 1",
+            (config_hash, git_rev),
+        )
+        row = cur.fetchone()
+        return RunRow(*row) if row is not None else None
+
+    def runs(self, *, name: str | None = None) -> list[RunRow]:
+        """All recorded runs (optionally for one task name), oldest first."""
+        query = (
+            "SELECT config_hash, git_rev, name, seed, status, attempts,"
+            " elapsed, error, detail, payload, created FROM runs"
+        )
+        params: tuple = ()
+        if name is not None:
+            query += " WHERE name = ?"
+            params = (name,)
+        return [RunRow(*row) for row in self._conn.execute(query + " ORDER BY id", params)]
+
+    def counts(self) -> dict[str, int]:
+        """``{status: rows}`` across the whole DB."""
+        return dict(
+            self._conn.execute("SELECT status, COUNT(*) FROM runs GROUP BY status")
+        )
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()
+        return count
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignDB":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

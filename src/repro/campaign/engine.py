@@ -1,0 +1,727 @@
+"""Crash-isolated sharded campaign engine.
+
+The coordinator fans :class:`CampaignTask` specs out to worker
+processes (:mod:`repro.campaign.worker`) and aggregates the outcomes
+into the runner's existing :class:`~repro.runner.TaskRecord` /
+:class:`~repro.runner.BatchReport` checkpoint format, so manifests
+written by a parallel campaign resume seamlessly under the serial
+runner and vice versa.
+
+Guarantees:
+
+* **Determinism** — task identity (name, function, kwargs) fully
+  determines the work; nothing about shard assignment or completion
+  order feeds back into a task, so a serial run and an ``--jobs N`` run
+  produce identical result payloads.  Reseeded retries derive their
+  seed from the attempt index exactly like the serial runner.
+* **Crash isolation** — a worker that exits (segfault, OOM kill,
+  ``os._exit``), raises, or stops heartbeating is reaped by the
+  coordinator's watchdog pass; its task is retried with exponential
+  backoff (and a fresh seed, when the task accepts one) on a fresh
+  worker.  Exhausted retries degrade to a structured ``failed`` /
+  ``timeout`` record — a batch is never lost wholesale.
+* **Result caching** — with a :class:`~repro.campaign.db.CampaignDB`
+  attached, a task whose config hash and git revision match a stored
+  successful run is served from the DB without executing anything, and
+  every executed task's terminal outcome is recorded for the next run.
+
+Worker/cache/retry activity is tallied in a standard
+:class:`~repro.trace.counters.CounterRegistry` (``cache.hits``,
+``workers.crashed``, ...) so the existing Prometheus/JSON exporters
+work on campaigns unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable
+
+from repro.campaign.db import CampaignDB, config_hash
+from repro.campaign.payload import PayloadError, decode_payload, encode_payload
+from repro.campaign.worker import execute_task, worker_main
+from repro.runner.core import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    BatchReport,
+    ExperimentRunner,
+    TaskRecord,
+    TaskSpec,
+    _accepts_seed,
+    _write_manifest,
+    load_manifest,
+)
+from repro.trace.counters import CounterRegistry
+from repro.utils.provenance import git_rev as _git_rev
+
+#: Coordinator poll tick (seconds): watchdog + scheduler cadence.
+_TICK = 0.05
+
+#: Grace multiplier for the watchdog's hard deadline over the task
+#: timeout: the worker's own SIGALRM should fire first; the watchdog
+#: kill is the backstop for workers stuck where the alarm cannot reach.
+_DEADLINE_SLACK = 1.5
+_DEADLINE_GRACE = 5.0
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One unit of campaign work: a picklable callable plus arguments.
+
+    ``fn`` must be an importable module-level callable for the task to
+    ship to a worker process; anything else (lambdas, closures) still
+    runs, but inline in the coordinator as a graceful degradation.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    timeout: float | None = None  # overrides the engine default
+    retries: int | None = None  # overrides the engine default
+
+    @property
+    def config_hash(self) -> str:
+        return config_hash(self.name, self.fn, self.kwargs)
+
+
+def _fn_resolvable(fn: Callable[..., Any]) -> bool:
+    """Is ``fn`` importable as a stable module-level name?
+
+    Cache identity hashes the function's ``module:qualname``; closures
+    and lambdas defined in different places can share a qualname, so a
+    function that does not resolve back to the same object is excluded
+    from the campaign DB entirely (it still runs — it just never serves
+    from or stores to the cache).
+    """
+    mod_name = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", "")
+    if not mod_name or not qualname or "<" in qualname:
+        return False
+    obj: Any = sys.modules.get(mod_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return False
+    return obj is fn
+
+
+def derive_task_seed(base: int, name: str, attempt: int) -> int:
+    """Deterministic per-task reseed, independent of shard assignment."""
+    from repro.utils.rng import derive_rng
+
+    return derive_rng(base, "campaign", name, f"attempt{attempt}").getrandbits(63)
+
+
+class _TaskState:
+    """Coordinator-side bookkeeping for one in-flight task."""
+
+    __slots__ = (
+        "task", "attempts", "eligible_at", "started", "last_status",
+        "last_error", "last_detail", "seed", "timeout", "retries",
+    )
+
+    def __init__(self, task: CampaignTask, *, timeout: float | None,
+                 retries: int) -> None:
+        self.task = task
+        self.attempts = 0
+        self.eligible_at = 0.0
+        self.started: float | None = None
+        self.last_status = STATUS_FAILED
+        self.last_error = ""
+        self.last_detail = ""
+        self.seed: int | None = None
+        self.timeout = timeout
+        self.retries = retries
+
+    def attempt_kwargs(self, reseed_base: int | None) -> dict[str, Any]:
+        kwargs = dict(self.task.kwargs)
+        if (
+            self.attempts > 0
+            and reseed_base is not None
+            and _accepts_seed(self.task.fn)
+        ):
+            # Retry under fresh, shard-independent randomness.
+            self.seed = (reseed_base or 0) + self.attempts
+            kwargs.setdefault("seed", self.seed)
+        return kwargs
+
+
+class _Worker:
+    """One worker process plus its pipe and heartbeat cell."""
+
+    def __init__(self, ctx) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.beat = ctx.Value("d", time.time(), lock=False)
+        self.proc = ctx.Process(
+            target=worker_main, args=(child_conn, self.beat), daemon=True,
+            name="campaign-worker",
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.state: _TaskState | None = None
+        self.deadline: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.state is not None
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except (OSError, ValueError):
+            pass
+        self.proc.join(timeout=2.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        """Orderly shutdown; falls back to kill if the worker lingers."""
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.proc.join(timeout=1.0)
+        if self.proc.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+class CampaignEngine:
+    """Run a batch of :class:`CampaignTask` across worker processes."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 1.0,
+        reseed_base: int | None = None,
+        db: CampaignDB | str | os.PathLike[str] | None = None,
+        use_cache: bool = True,
+        manifest_path: str | os.PathLike[str] | None = None,
+        resume: bool = False,
+        fail_fast: bool = False,
+        heartbeat_timeout: float = 30.0,
+        registry: CounterRegistry | None = None,
+        git_rev: str | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be a positive worker count")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.reseed_base = reseed_base
+        self.db = CampaignDB(db) if isinstance(db, (str, os.PathLike)) else db
+        self.use_cache = use_cache
+        self.manifest_path = manifest_path
+        self.resume = resume
+        self.fail_fast = fail_fast
+        self.heartbeat_timeout = heartbeat_timeout
+        self.git_rev = git_rev if git_rev is not None else _git_rev()
+
+        self.registry = registry if registry is not None else CounterRegistry()
+        self._c_tasks = self.registry.counter("tasks")
+        self._c_executed = self.registry.counter("executed")
+        self._c_ok = self.registry.counter("ok")
+        self._c_failed = self.registry.counter("failed")
+        self._c_timeout = self.registry.counter("timeout")
+        self._c_skipped = self.registry.counter("skipped")
+        self._c_retries = self.registry.counter("retries")
+        self._c_inline = self.registry.counter("inline_fallbacks")
+        cache_reg = CounterRegistry()
+        self.registry.mount("cache", cache_reg)
+        self._c_cache_hits = cache_reg.counter("hits")
+        self._c_cache_misses = cache_reg.counter("misses")
+        self._c_cache_stores = cache_reg.counter("stores")
+        self._c_manifest_hits = cache_reg.counter("manifest_hits")
+        self._c_uncacheable = cache_reg.counter("uncacheable")
+        worker_reg = CounterRegistry()
+        self.registry.mount("workers", worker_reg)
+        self._c_spawned = worker_reg.counter("spawned")
+        self._c_crashed = worker_reg.counter("crashed")
+        self._c_hung = worker_reg.counter("hung")
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        tasks: list[CampaignTask],
+        *,
+        on_record: Callable[[TaskRecord], None] | None = None,
+    ) -> BatchReport:
+        """Run every task; ``on_record`` streams outcomes as they land."""
+        names = [task.name for task in tasks]
+        if len(set(names)) != len(names):
+            raise ValueError("task names must be unique within a campaign")
+        self._c_tasks.incr(len(tasks))
+        manifest: dict[str, TaskRecord] = {}
+        if self.manifest_path is not None and self.resume:
+            manifest = load_manifest(self.manifest_path)
+
+        results: dict[str, TaskRecord] = {}
+        to_run: list[CampaignTask] = []
+        for task in tasks:
+            previous = manifest.get(task.name)
+            if previous is not None and previous.ok:
+                previous.cached = True
+                self._c_manifest_hits.incr()
+                self._land(previous, manifest, on_record, persist=False)
+                results[task.name] = previous
+                continue
+            cached = self._cache_lookup(task)
+            if cached is not None:
+                self._land(cached, manifest, on_record, persist=False)
+                results[task.name] = cached
+                continue
+            to_run.append(task)
+
+        if to_run:
+            if self.jobs == 1:
+                self._run_serial(to_run, results, manifest, on_record)
+            else:
+                self._run_parallel(to_run, results, manifest, on_record)
+
+        report = BatchReport()
+        report.records = [results[name] for name in names]
+        return report
+
+    def summary_line(self) -> str:
+        """One-line campaign tally for CLI output (and CI grepping)."""
+        total = int(self._c_tasks.value)
+        cached = int(self._c_cache_hits.value + self._c_manifest_hits.value)
+        executed = int(self._c_executed.value)
+        failed = int(self._c_failed.value + self._c_timeout.value)
+        parts = [
+            f"campaign: {total} task(s) — {executed} executed, "
+            f"{cached} cached, {failed} failed/timeout, "
+            f"{int(self._c_retries.value)} retried (jobs={self.jobs})"
+        ]
+        crashes = int(self._c_crashed.value + self._c_hung.value)
+        if crashes:
+            parts.append(f"{crashes} worker crash(es) reaped")
+        if total and executed == 0 and failed == 0 and cached == total:
+            parts.append(f"all {total} task(s) served from campaign cache")
+        return "; ".join(parts)
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def _effective(self, task: CampaignTask) -> tuple[float | None, int]:
+        timeout = task.timeout if task.timeout is not None else self.timeout
+        retries = task.retries if task.retries is not None else self.retries
+        return timeout, retries
+
+    def _cache_lookup(self, task: CampaignTask) -> TaskRecord | None:
+        if self.db is None or not self.use_cache:
+            return None
+        if not _fn_resolvable(task.fn):
+            self._c_uncacheable.incr()
+            return None
+        row = self.db.lookup(task.config_hash, self.git_rev)
+        if row is None:
+            self._c_cache_misses.incr()
+            return None
+        try:
+            result = decode_payload(row.payload or "")
+        except (PayloadError, ValueError, KeyError, AttributeError,
+                ImportError):
+            # A corrupt or stale payload is a miss, never a bad result.
+            self._c_cache_misses.incr()
+            return None
+        self._c_cache_hits.incr()
+        return TaskRecord(
+            name=task.name,
+            status=STATUS_OK,
+            attempts=row.attempts,
+            elapsed=row.elapsed,
+            seed=row.seed,
+            cached=True,
+            result=result,
+        )
+
+    def _land(
+        self,
+        record: TaskRecord,
+        manifest: dict[str, TaskRecord],
+        on_record: Callable[[TaskRecord], None] | None,
+        *,
+        persist: bool,
+        task: CampaignTask | None = None,
+    ) -> None:
+        """Finalize one record: counters, campaign DB, manifest, callback."""
+        if not record.cached and record.status != STATUS_SKIPPED:
+            self._c_executed.incr()
+            self._c_retries.incr(max(0, record.attempts - 1))
+            if record.status == STATUS_OK:
+                self._c_ok.incr()
+            elif record.status == STATUS_TIMEOUT:
+                self._c_timeout.incr()
+            else:
+                self._c_failed.incr()
+        elif record.status == STATUS_SKIPPED:
+            self._c_skipped.incr()
+        if (
+            persist
+            and self.db is not None
+            and task is not None
+            and _fn_resolvable(task.fn)
+        ):
+            payload = None
+            detail = record.detail
+            if record.status == STATUS_OK:
+                try:
+                    payload = encode_payload(record.result)
+                except PayloadError as error:
+                    note = f"payload not cacheable: {error}"
+                    detail = (detail + "\n" + note).strip()
+                    record.detail = detail
+            self.db.record_run(
+                config_hash=task.config_hash,
+                git_rev=self.git_rev,
+                name=record.name,
+                seed=record.seed,
+                status=record.status,
+                attempts=record.attempts,
+                elapsed=record.elapsed,
+                error=record.error,
+                detail=detail,
+                payload=payload,
+            )
+            if payload is not None:
+                self._c_cache_stores.incr()
+        manifest[record.name] = record
+        if self.manifest_path is not None:
+            _write_manifest(self.manifest_path, manifest)
+        if on_record is not None:
+            on_record(record)
+
+    # -- serial path -------------------------------------------------------
+
+    def _run_serial(
+        self,
+        tasks: list[CampaignTask],
+        results: dict[str, TaskRecord],
+        manifest: dict[str, TaskRecord],
+        on_record: Callable[[TaskRecord], None] | None,
+    ) -> None:
+        # Delegate per-task execution to the serial runner so timeout,
+        # retry, backoff, and reseed semantics stay bit-compatible.
+        runner = ExperimentRunner(
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            reseed_base=self.reseed_base,
+        )
+        abort = False
+        for task in tasks:
+            if abort:
+                record = TaskRecord(
+                    name=task.name,
+                    status=STATUS_SKIPPED,
+                    error="skipped (fail-fast)",
+                )
+            else:
+                record = runner._run_one(
+                    TaskSpec(
+                        name=task.name,
+                        fn=task.fn,
+                        kwargs=task.kwargs,
+                        timeout=task.timeout,
+                        retries=task.retries,
+                    )
+                )
+            results[task.name] = record
+            self._land(record, manifest, on_record,
+                       persist=not abort, task=task)
+            if self.fail_fast and record.status in (STATUS_FAILED,
+                                                    STATUS_TIMEOUT):
+                abort = True
+
+    # -- parallel path -----------------------------------------------------
+
+    @staticmethod
+    def _mp_context():
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+
+    def _run_parallel(
+        self,
+        tasks: list[CampaignTask],
+        results: dict[str, TaskRecord],
+        manifest: dict[str, TaskRecord],
+        on_record: Callable[[TaskRecord], None] | None,
+    ) -> None:
+        ctx = self._mp_context()
+        pending: list[_TaskState] = []
+        for task in tasks:
+            timeout, retries = self._effective(task)
+            pending.append(_TaskState(task, timeout=timeout, retries=retries))
+        workers: list[_Worker] = []
+        abort = False
+        try:
+            while pending or any(w.busy for w in workers):
+                now = time.monotonic()
+                self._watchdog_pass(workers, pending, now)
+                if abort and pending:
+                    # Fail-fast: nothing new is scheduled; in-flight
+                    # tasks finish, the rest become skipped records.
+                    for state in pending:
+                        record = TaskRecord(
+                            name=state.task.name,
+                            status=STATUS_SKIPPED,
+                            error="skipped (fail-fast)",
+                        )
+                        results[state.task.name] = record
+                        self._land(record, manifest, on_record,
+                                   persist=False, task=state.task)
+                    pending.clear()
+                self._assign(ctx, workers, pending, results, manifest,
+                             on_record, now)
+                busy_conns = [w.conn for w in workers if w.busy]
+                if busy_conns:
+                    try:
+                        ready = mp_connection.wait(busy_conns, timeout=_TICK)
+                    except OSError:
+                        ready = []
+                else:
+                    if pending:
+                        time.sleep(_TICK)
+                    ready = []
+                for conn in ready:
+                    worker = next(
+                        (w for w in workers if w.conn is conn), None
+                    )
+                    if worker is None:
+                        continue
+                    done = self._collect(worker, pending, results, manifest,
+                                         on_record)
+                    if (
+                        done is not None
+                        and self.fail_fast
+                        and done.status in (STATUS_FAILED, STATUS_TIMEOUT)
+                    ):
+                        abort = True
+        finally:
+            for worker in workers:
+                if worker.busy or worker.proc.is_alive():
+                    worker.stop()
+
+    def _watchdog_pass(
+        self, workers: list[_Worker], pending: list[_TaskState], now: float
+    ) -> None:
+        """Reap dead or hung workers; requeue or finalize their tasks."""
+        for worker in list(workers):
+            if not worker.busy:
+                if not worker.proc.is_alive():
+                    workers.remove(worker)
+                continue
+            dead = not worker.proc.is_alive()
+            hung = (time.time() - worker.beat.value) > self.heartbeat_timeout
+            over_deadline = (
+                worker.deadline is not None and now > worker.deadline
+            )
+            if not (dead or hung or over_deadline):
+                continue
+            state = worker.state
+            worker.state = None
+            if dead:
+                code = worker.proc.exitcode
+                self._c_crashed.incr()
+                state.last_status = STATUS_FAILED
+                state.last_error = f"worker crashed (exit code {code})"
+                state.last_detail = (
+                    "worker process died mid-task; killed by signal "
+                    f"{-code}" if isinstance(code, int) and code < 0
+                    else f"worker process exited with code {code} mid-task"
+                )
+            else:
+                self._c_hung.incr()
+                why = ("stopped heartbeating" if hung
+                       else "exceeded the watchdog deadline")
+                state.last_status = STATUS_TIMEOUT
+                state.last_error = f"worker {why}; killed by watchdog"
+                state.last_detail = ""
+            worker.kill()
+            workers.remove(worker)
+            state.eligible_at = now + (
+                self.backoff * (2 ** (state.attempts - 1))
+                if self.backoff > 0 else 0.0
+            )
+            pending.append(state)
+
+    def _assign(
+        self,
+        ctx,
+        workers: list[_Worker],
+        pending: list[_TaskState],
+        results: dict[str, TaskRecord],
+        manifest: dict[str, TaskRecord],
+        on_record: Callable[[TaskRecord], None] | None,
+        now: float,
+    ) -> None:
+        """Hand eligible tasks to idle workers, spawning up to ``jobs``."""
+        for state in list(pending):
+            # Retries exhausted -> terminal failed/timeout record.
+            if state.attempts > state.retries:
+                pending.remove(state)
+                record = self._finalize_state(state)
+                results[state.task.name] = record
+                self._land(record, manifest, on_record,
+                           persist=True, task=state.task)
+                continue
+            if state.eligible_at > now:
+                continue
+            worker = next(
+                (w for w in workers if not w.busy and w.proc.is_alive()), None
+            )
+            if worker is None:
+                if len(workers) < self.jobs:
+                    worker = _Worker(ctx)
+                    self._c_spawned.incr()
+                    workers.append(worker)
+                else:
+                    break  # every slot busy; wait for a completion
+            pending.remove(state)
+            if state.started is None:
+                state.started = now
+            kwargs = state.attempt_kwargs(self.reseed_base)
+            state.attempts += 1
+            message = (state.task.name, state.task.fn, kwargs, state.timeout)
+            try:
+                worker.conn.send(message)
+            except (pickle.PicklingError, AttributeError, TypeError):
+                # Unpicklable task (lambda/closure): degrade gracefully
+                # by running it inline in the coordinator.
+                self._c_inline.incr()
+                raw = execute_task(
+                    state.task.name, state.task.fn, kwargs, state.timeout
+                )
+                self._absorb_attempt(state, raw, pending, results, manifest,
+                                     on_record)
+                continue
+            except (OSError, ValueError, BrokenPipeError):
+                # The worker died between the liveness check and the
+                # send: undo the attempt, requeue, and reap the corpse.
+                state.attempts -= 1
+                pending.append(state)
+                worker.kill()
+                workers.remove(worker)
+                continue
+            worker.state = state
+            worker.deadline = (
+                now + state.timeout * _DEADLINE_SLACK + _DEADLINE_GRACE
+                if state.timeout is not None and state.timeout > 0 else None
+            )
+
+    def _collect(
+        self,
+        worker: _Worker,
+        pending: list[_TaskState],
+        results: dict[str, TaskRecord],
+        manifest: dict[str, TaskRecord],
+        on_record: Callable[[TaskRecord], None] | None,
+    ) -> TaskRecord | None:
+        """Receive one worker result; returns the record if terminal."""
+        state = worker.state
+        try:
+            raw = worker.conn.recv()
+        except (EOFError, OSError):
+            # Worker died with the result half-sent; treat as a crash.
+            # The watchdog pass will reap the process itself.
+            return None
+        worker.state = None
+        worker.deadline = None
+        if state is None:
+            return None
+        result_bytes = raw.pop("result_bytes", None)
+        if result_bytes is not None:
+            try:
+                raw["result"] = pickle.loads(result_bytes)
+            except Exception as error:  # noqa: BLE001 - degrade to failure
+                raw["result"] = None
+                if raw.get("status") == STATUS_OK:
+                    raw["status"] = STATUS_FAILED
+                    raw["error"] = (
+                        f"result not decodable: {type(error).__name__}"
+                    )
+        else:
+            raw.setdefault("result", None)
+        return self._absorb_attempt(state, raw, pending, results, manifest,
+                                    on_record)
+
+    def _absorb_attempt(
+        self,
+        state: _TaskState,
+        raw: dict[str, Any],
+        pending: list[_TaskState],
+        results: dict[str, TaskRecord],
+        manifest: dict[str, TaskRecord],
+        on_record: Callable[[TaskRecord], None] | None,
+    ) -> TaskRecord | None:
+        """Fold one attempt outcome into the task state; finalize if done."""
+        state.last_status = raw["status"]
+        state.last_error = raw.get("error", "")
+        state.last_detail = raw.get("detail", "")
+        if raw["status"] == STATUS_OK:
+            record = self._finalize_state(state, result=raw.get("result"))
+            results[state.task.name] = record
+            self._land(record, manifest, on_record,
+                       persist=True, task=state.task)
+            return record
+        if state.attempts > state.retries:
+            record = self._finalize_state(state)
+            results[state.task.name] = record
+            self._land(record, manifest, on_record,
+                       persist=True, task=state.task)
+            return record
+        state.eligible_at = time.monotonic() + (
+            self.backoff * (2 ** (state.attempts - 1))
+            if self.backoff > 0 else 0.0
+        )
+        pending.append(state)
+        return None
+
+    def _finalize_state(
+        self, state: _TaskState, *, result: Any = None
+    ) -> TaskRecord:
+        elapsed = (
+            time.monotonic() - state.started
+            if state.started is not None else 0.0
+        )
+        return TaskRecord(
+            name=state.task.name,
+            status=state.last_status,
+            attempts=state.attempts,
+            elapsed=elapsed,
+            error=state.last_error if state.last_status != STATUS_OK else "",
+            # detail survives even on success: it carries degradation
+            # notes (e.g. an untransferable result object).
+            detail=state.last_detail,
+            seed=state.seed,
+            result=result,
+        )

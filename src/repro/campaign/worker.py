@@ -1,0 +1,130 @@
+"""Campaign worker process: execute tasks, heartbeat, report back.
+
+Each worker is one OS process running :func:`worker_main`: it receives
+``(name, fn, kwargs, timeout)`` messages over its pipe, executes them
+with the runner's SIGALRM-backed timeout (workers run tasks on their
+main thread, so the alarm path — which interrupts even tight
+pure-Python loops — is always available), and sends a structured result
+record back.  A daemon heartbeat thread stamps a shared timestamp a few
+times per second; the coordinator's watchdog treats a stale stamp or a
+dead process as a crashed worker and retries the task elsewhere.
+
+Results are pre-pickled inside the worker so an unpicklable result
+object degrades to a structured note instead of corrupting the pipe.
+
+Test hook: setting ``REPRO_CAMPAIGN_TEST_CRASH`` to ``NAME=MARKER``
+makes the first worker to pick up task ``NAME`` die with ``os._exit``
+after creating the ``MARKER`` file (subsequent attempts run normally).
+This simulates a segfault/OOM kill deterministically and is used by the
+crash-isolation tests and CI; it has no effect when the variable is
+unset.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+import traceback
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro.runner.core import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    TaskTimeout,
+    _call_with_timeout,
+)
+
+#: Seconds between heartbeat stamps.
+HEARTBEAT_INTERVAL = 0.2
+
+#: Environment variable naming a task to hard-kill once (``NAME=MARKER``).
+TEST_CRASH_ENV = "REPRO_CAMPAIGN_TEST_CRASH"
+
+#: Exit code of the injected test crash, distinguishable from real faults.
+TEST_CRASH_EXIT = 86
+
+
+def maybe_test_crash(task_name: str) -> None:
+    """Die abruptly if the test-crash hook targets this task (once)."""
+    hook = os.environ.get(TEST_CRASH_ENV, "")
+    target, sep, marker = hook.partition("=")
+    if not sep or target != task_name or not marker:
+        return
+    if os.path.exists(marker):
+        return  # already crashed once; let the retry succeed
+    with open(marker, "w", encoding="utf-8") as handle:
+        handle.write(f"crashed task {task_name}\n")
+    os._exit(TEST_CRASH_EXIT)
+
+
+def _heartbeat_loop(beat, stop: threading.Event) -> None:
+    while not stop.is_set():
+        beat.value = time.time()
+        stop.wait(HEARTBEAT_INTERVAL)
+
+
+def execute_task(
+    name: str, fn: Any, kwargs: dict[str, Any], timeout: float | None
+) -> dict[str, Any]:
+    """Run one task attempt and summarise it as a plain record dict.
+
+    Shared by the worker loop and the coordinator's inline fallback so
+    both paths classify outcomes (ok / timeout / failed) identically.
+    """
+    record: dict[str, Any] = {
+        "name": name,
+        "status": STATUS_FAILED,
+        "error": "",
+        "detail": "",
+        "elapsed": 0.0,
+        "result": None,
+    }
+    started = time.monotonic()
+    try:
+        record["result"] = _call_with_timeout(fn, dict(kwargs), timeout)
+        record["status"] = STATUS_OK
+    except TaskTimeout as error:
+        record["status"] = STATUS_TIMEOUT
+        record["error"] = str(error)
+    except KeyboardInterrupt:
+        raise
+    except BaseException as error:  # crash isolation: report, don't die
+        record["error"] = f"{type(error).__name__}: {error}"
+        record["detail"] = "".join(traceback.format_exception(error))[-2000:]
+    record["elapsed"] = time.monotonic() - started
+    return record
+
+
+def worker_main(conn: Connection, beat) -> None:
+    """Worker process entry point: loop over tasks until told to stop."""
+    stop = threading.Event()
+    threading.Thread(
+        target=_heartbeat_loop, args=(beat, stop), daemon=True,
+        name="campaign-heartbeat",
+    ).start()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:  # orderly shutdown
+                break
+            name, fn, kwargs, timeout = message
+            maybe_test_crash(name)
+            record = execute_task(name, fn, kwargs, timeout)
+            result = record.pop("result")
+            try:
+                record["result_bytes"] = pickle.dumps(result)
+            except Exception as error:  # noqa: BLE001 - degrade, don't crash
+                record["result_bytes"] = None
+                note = f"result not transferable: {type(error).__name__}: {error}"
+                record["detail"] = (record["detail"] + "\n" + note).strip()
+            conn.send(record)
+    finally:
+        stop.set()
+        conn.close()

@@ -9,17 +9,23 @@ Commands
 ``list``
     List every regenerable figure/ablation and its paper reference.
 
-``figures [NAME ...] [--quick] [--out DIR] [--timeout S] [--retries N]
-[--manifest FILE] [--resume] [--fail-fast]``
-    Regenerate paper figures (all by default) through the hardened
-    experiment runner: each figure gets a wall-clock budget and bounded
-    retries, a crashing figure becomes a structured failure record
-    instead of killing the batch, and completed figures are checkpointed
-    to a JSON manifest so ``--resume`` reruns only what failed.
+``figures [NAME ...] [--quick] [--out DIR] [--jobs N] [--no-cache]
+[--campaign-db FILE] [--timeout S] [--retries N] [--manifest FILE]
+[--resume] [--fail-fast]``
+    Regenerate paper figures (all by default) through the crash-isolated
+    campaign engine: figures fan out across ``--jobs`` worker processes
+    (0 = one per CPU core), each gets a wall-clock budget and bounded
+    retries, a crashing or hung worker is reaped and its figure retried
+    on a fresh worker, and successful results are memoised in the
+    campaign DB so an unchanged re-run is served from cache.  Completed
+    figures are also checkpointed to a JSON manifest so ``--resume``
+    reruns only what failed.
 
-``faults [--preset sct|ht|sgx|all] [--sites N] [--seed S]``
+``faults [--preset sct|ht|sgx|all] [--sites N] [--seed S] [--jobs N]
+[--no-cache] [--campaign-db FILE] [--timeout S] [--retries N]``
     Sweep seeded fault-injection campaigns against the functional-crypto
-    machines and print the tamper-detection coverage matrix.  Exits
+    machines (one campaign task per preset, sharded across ``--jobs``
+    workers) and print the tamper-detection coverage matrix.  Exits
     non-zero unless every protected-state corruption was detected with
     zero false positives.
 
@@ -37,19 +43,25 @@ Commands
     ``trace_event`` JSON (loadable in Perfetto / chrome://tracing).
     Prints per-kind event counts and the machine counter snapshot.
 
-``leakcheck --victim NAME [--seed S] [--alpha P] [--json FILE]
-[--expect leaky|clean]``
+``leakcheck --victim NAME [--seed S] [--seeds N] [--alpha P]
+[--json FILE] [--expect leaky|clean] [--jobs N] [--no-cache]
+[--campaign-db FILE] [--timeout S] [--retries N]``
     Automated leakage detection: run the victim twice under paired
     secrets with identical public inputs and diff the metadata event
-    streams (count + KS tests per event kind).  ``--expect`` turns the
-    verdict into an exit code for CI gating.
+    streams (count + KS tests per event kind).  ``--seeds N`` sweeps N
+    consecutive seeds (sharded across ``--jobs`` workers); ``--expect``
+    requires every swept seed to match and turns the verdict into an
+    exit code for CI gating.
 
 ``bench [SCENARIO ...] [--out DIR] [--seed S] [--quick]
-[--compare DIR] [--threshold F] [--list]``
+[--compare DIR] [--threshold F] [--list] [--jobs N] [--no-cache]
+[--campaign-db FILE] [--timeout S] [--retries N]``
     Run the benchmark scenario suite (all scenarios by default) and
     write one ``BENCH_<scenario>.json`` per scenario.  ``--compare``
     checks throughput against baseline JSONs in a directory and exits
-    non-zero on a regression beyond ``--threshold``.
+    non-zero on a regression beyond ``--threshold``.  Note that cached
+    bench results replay the stored measurement; pass ``--no-cache``
+    when you want fresh host-throughput numbers.
 
 ``profile --victim NAME [--preset sct|ht|sgx] [--seed S]
 [--collapsed FILE] [--prom FILE] [--min-share F]``
@@ -62,10 +74,15 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
 from repro.analysis.report import format_result
+
+#: Default campaign DB location; override per-invocation with
+#: ``--campaign-db`` or globally with ``REPRO_CAMPAIGN_DB``.
+_DEFAULT_CAMPAIGN_DB = ".repro-campaign.sqlite"
 
 _FIGURE_DOC = {
     "fig6": "Fig. 6  — access-path latency bands (SCT)",
@@ -111,6 +128,135 @@ _QUICK_KWARGS = {
 }
 
 
+# -- shared option validation (consistent across subcommands) -------------
+
+
+def _jobs_count(value: str) -> int:
+    """``--jobs``: positive worker count; 0 means one per CPU core."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be an integer, got {value!r}"
+        ) from None
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = one worker per CPU core), got {jobs}"
+        )
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _retries_count(value: str) -> int:
+    """``--retries``: a non-negative integer."""
+    try:
+        retries = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--retries must be an integer, got {value!r}"
+        ) from None
+    if retries < 0:
+        raise argparse.ArgumentTypeError(
+            f"--retries must be non-negative, got {retries}"
+        )
+    return retries
+
+
+def _timeout_seconds(value: str) -> float:
+    """``--timeout``: a positive number of seconds."""
+    try:
+        timeout = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--timeout must be a number of seconds, got {value!r}"
+        ) from None
+    if not timeout > 0:
+        raise argparse.ArgumentTypeError(
+            f"--timeout must be positive, got {timeout!r}"
+        )
+    return timeout
+
+
+def _positive_int(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value!r}"
+        ) from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {number}"
+        )
+    return number
+
+
+def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
+    """The campaign-engine flags shared by figures/faults/leakcheck/bench."""
+    parser.add_argument(
+        "--jobs", type=_jobs_count, default=1, metavar="N",
+        help="worker processes (0 = one per CPU core; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not serve results from the campaign DB (still records runs)",
+    )
+    parser.add_argument(
+        "--campaign-db", metavar="FILE", default=None,
+        help="persistent campaign DB path (default: env REPRO_CAMPAIGN_DB, "
+        f"else OUT/campaign.sqlite when --out is given, else "
+        f"{_DEFAULT_CAMPAIGN_DB})",
+    )
+    parser.add_argument(
+        "--timeout", type=_timeout_seconds, default=None, metavar="S",
+        help="wall-clock budget per task in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=_retries_count, default=0, metavar="N",
+        help="retry failed/crashed tasks up to N times with backoff",
+    )
+
+
+def _resolve_campaign_db(
+    args: argparse.Namespace,
+    out_dir: str | os.PathLike[str] | None = None,
+) -> str | pathlib.Path:
+    """``--campaign-db`` > ``REPRO_CAMPAIGN_DB`` > OUT dir > cwd default."""
+    if args.campaign_db:
+        return args.campaign_db
+    env = os.environ.get("REPRO_CAMPAIGN_DB")
+    if env:
+        return env
+    if out_dir is not None:
+        return pathlib.Path(out_dir) / "campaign.sqlite"
+    return _DEFAULT_CAMPAIGN_DB
+
+
+def _campaign_engine(
+    args: argparse.Namespace,
+    *,
+    out_dir: str | os.PathLike[str] | None = None,
+    reseed_base: int | None = None,
+    manifest_path: str | os.PathLike[str] | None = None,
+    resume: bool = False,
+    fail_fast: bool = False,
+):
+    from repro.campaign import CampaignEngine
+
+    return CampaignEngine(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        reseed_base=reseed_base,
+        db=_resolve_campaign_db(args, out_dir),
+        use_cache=not args.no_cache,
+        manifest_path=manifest_path,
+        resume=resume,
+        fail_fast=fail_fast,
+    )
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.config import preset_config
     from repro.proc import SecureProcessor
@@ -137,7 +283,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.analysis.figures import ALL_FIGURES
-    from repro.runner import ExperimentRunner, TaskSpec
+    from repro.campaign import CampaignTask
+    from repro.perf import prometheus_text
 
     names = args.names or list(ALL_FIGURES)
     unknown = [name for name in names if name not in ALL_FIGURES]
@@ -156,8 +303,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    specs = [
-        TaskSpec(
+    tasks = [
+        CampaignTask(
             name=name,
             fn=ALL_FIGURES[name],
             kwargs=_QUICK_KWARGS.get(name, {}) if args.quick else {},
@@ -166,7 +313,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     ]
 
     def _on_record(record) -> None:
-        if record.cached:
+        if record.cached and record.result is None:
             print(f"-- {record.name}: ok from manifest (resume)\n")
             return
         if record.status == "skipped":
@@ -177,20 +324,28 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             return
         text = format_result(record.result)
         print(text)
-        print(f"   [{record.elapsed:.1f}s]\n")
+        if record.cached:
+            print("   [campaign cache]\n")
+        else:
+            print(f"   [{record.elapsed:.1f}s]\n")
         if out_dir:
             (out_dir / f"{record.name}.txt").write_text(text + "\n")
 
-    runner = ExperimentRunner(
-        timeout=args.timeout,
-        retries=args.retries,
+    engine = _campaign_engine(
+        args,
+        out_dir=out_dir,
         reseed_base=args.seed,
         manifest_path=manifest_path,
         resume=args.resume,
         fail_fast=args.fail_fast,
     )
-    report = runner.run(specs, on_record=_on_record)
+    report = engine.run(tasks, on_record=_on_record)
     print(report.summary())
+    print(engine.summary_line())
+    if out_dir:
+        (out_dir / "campaign_metrics.prom").write_text(
+            prometheus_text(engine.registry, namespace="repro_campaign")
+        )
     return 0 if report.status == "pass" else 1
 
 
@@ -247,16 +402,38 @@ def _cmd_channel(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignTask
     from repro.config import preset_names
     from repro.faults import campaign_figure_result, run_campaign
 
+    if args.sites <= 0:
+        raise ValueError(f"--sites must be a positive integer, got {args.sites}")
     presets = list(preset_names()) if args.preset == "all" else [args.preset]
-    reports = {
-        preset: run_campaign(preset, sites=args.sites, seed=args.seed)
+    tasks = [
+        CampaignTask(
+            name=f"faults_{preset}",
+            fn=run_campaign,
+            kwargs={"preset": preset, "sites": args.sites, "seed": args.seed},
+        )
         for preset in presets
+    ]
+    engine = _campaign_engine(args)
+    batch = engine.run(tasks)
+    reports = {
+        preset: record.result
+        for preset, record in zip(presets, batch.records)
+        if record.ok
     }
-    print(format_result(campaign_figure_result(reports)))
-    all_detected = all(report.fully_detected for report in reports.values())
+    if reports:
+        print(format_result(campaign_figure_result(reports)))
+    print(engine.summary_line())
+    for preset, record in zip(presets, batch.records):
+        if not record.ok:
+            print(f"!! {preset}: campaign task {record.status}: "
+                  f"{record.error}", file=sys.stderr)
+    all_detected = bool(reports) and all(
+        report.fully_detected for report in reports.values()
+    )
     for preset, report in reports.items():
         if not report.fully_detected:
             for outcome in report.failures():
@@ -265,7 +442,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                     f"{outcome.description}: {outcome.note}",
                     file=sys.stderr,
                 )
-    return 0 if all_detected else 1
+    return 0 if all_detected and len(reports) == len(presets) else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -303,26 +480,56 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_leakcheck(args: argparse.Namespace) -> int:
+    import json as _json
     import pathlib as _pathlib
 
+    from repro.campaign import CampaignTask
     from repro.leakcheck import run_leakcheck
 
-    report = run_leakcheck(args.victim, seed=args.seed, alpha=args.alpha)
-    for line in report.summary_lines():
-        print(line)
-    if args.json:
-        _pathlib.Path(args.json).write_text(report.to_json() + "\n")
+    seeds = [args.seed + offset for offset in range(args.seeds)]
+    tasks = [
+        CampaignTask(
+            name=f"leakcheck_{args.victim}_s{seed}",
+            fn=run_leakcheck,
+            kwargs={"victim": args.victim, "seed": seed, "alpha": args.alpha},
+        )
+        for seed in seeds
+    ]
+    engine = _campaign_engine(args)
+    batch = engine.run(tasks)
+    reports = []
+    failed = False
+    for seed, record in zip(seeds, batch.records):
+        if not record.ok:
+            failed = True
+            print(f"!! seed {seed}: leakcheck task {record.status}: "
+                  f"{record.error}", file=sys.stderr)
+            continue
+        reports.append(record.result)
+        for line in record.result.summary_lines():
+            print(line)
+    if args.seeds > 1:
+        print(engine.summary_line())
+    if args.json and reports:
+        if len(reports) == 1:
+            _pathlib.Path(args.json).write_text(reports[0].to_json() + "\n")
+        else:
+            _pathlib.Path(args.json).write_text(
+                _json.dumps([r.to_dict() for r in reports], indent=2,
+                            sort_keys=True) + "\n"
+            )
         print(f"wrote report to {args.json}")
     if args.expect is not None:
         expected_leaky = args.expect == "leaky"
-        if report.leaky != expected_leaky:
-            print(
-                f"FAIL: expected {args.expect}, got "
-                f"{'leaky' if report.leaky else 'clean'}",
-                file=sys.stderr,
-            )
-            return 1
-    return 0
+        for report in reports:
+            if report.leaky != expected_leaky:
+                print(
+                    f"FAIL: seed {report.seed}: expected {args.expect}, got "
+                    f"{'leaky' if report.leaky else 'clean'}",
+                    file=sys.stderr,
+                )
+                failed = True
+    return 1 if failed else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -347,17 +554,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
+
+    from repro.campaign import CampaignTask
+
+    tasks = [
+        CampaignTask(
+            name=f"bench_{name}",
+            fn=bench.run_scenario,
+            kwargs={"name": name, "seed": args.seed, "quick": args.quick},
+        )
+        for name in names
+    ]
+    engine = _campaign_engine(args, out_dir=out_dir)
+    batch = engine.run(tasks)
     results = []
-    for name in names:
-        result = bench.run_scenario(name, seed=args.seed, quick=args.quick)
+    failed_tasks = False
+    for name, record in zip(names, batch.records):
+        if not record.ok:
+            failed_tasks = True
+            print(f"!! {name}: bench task {record.status}: {record.error}",
+                  file=sys.stderr)
+            continue
+        result = record.result
         results.append(result)
         written = bench.write_result(result, out_dir)
+        flags = "  (cached)" if record.cached else ""
         print(
             f"{name:<12} {result.accesses:>7} accesses  "
             f"{result.simulated_cycles:>10} cycles  "
             f"{result.sim_accesses_per_second:>10.0f} acc/s  "
-            f"rss={result.peak_rss_kb} KB  -> {written}"
+            f"rss={result.peak_rss_kb} KB  -> {written}{flags}"
         )
+    print(engine.summary_line())
+    if failed_tasks:
+        return 1
     if args.compare is None:
         return 0
     failed = False
@@ -425,14 +655,6 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--quick", action="store_true", help="reduced scale")
     figures.add_argument("--out", help="directory for result tables")
     figures.add_argument(
-        "--timeout", type=float, default=None, metavar="S",
-        help="wall-clock budget per figure in seconds (default: none)",
-    )
-    figures.add_argument(
-        "--retries", type=int, default=0, metavar="N",
-        help="retry failed figures up to N times with backoff",
-    )
-    figures.add_argument(
         "--seed", type=int, default=0,
         help="base seed for reseeded retries (figures accepting seed=)",
     )
@@ -448,6 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-fast", action="store_true",
         help="stop scheduling new figures after the first failure",
     )
+    _add_campaign_options(figures)
     figures.set_defaults(func=_cmd_figures)
 
     faults = commands.add_parser(
@@ -460,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--sites", type=int, default=200, help="injection sites per preset"
     )
     faults.add_argument("--seed", type=int, default=2024)
+    _add_campaign_options(faults)
     faults.set_defaults(func=_cmd_faults)
 
     channel = commands.add_parser(
@@ -518,14 +742,19 @@ def build_parser() -> argparse.ArgumentParser:
     leakcheck.add_argument("--victim", choices=victim_names(), required=True)
     leakcheck.add_argument("--seed", type=int, default=0)
     leakcheck.add_argument(
+        "--seeds", type=_positive_int, default=1, metavar="N",
+        help="sweep N consecutive seeds starting at --seed (default 1)",
+    )
+    leakcheck.add_argument(
         "--alpha", type=float, default=0.01,
         help="significance level for the per-kind KS tests",
     )
     leakcheck.add_argument("--json", help="write the full report as JSON")
     leakcheck.add_argument(
         "--expect", choices=("leaky", "clean"), default=None,
-        help="exit non-zero unless the verdict matches (CI gating)",
+        help="exit non-zero unless every swept verdict matches (CI gating)",
     )
+    _add_campaign_options(leakcheck)
     leakcheck.set_defaults(func=_cmd_leakcheck)
 
     bench = commands.add_parser(
@@ -560,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
+    _add_campaign_options(bench)
     bench.set_defaults(func=_cmd_bench)
 
     profile = commands.add_parser(

@@ -24,7 +24,6 @@ from __future__ import annotations
 import json
 import pathlib
 import resource
-import subprocess
 import time
 from dataclasses import asdict, dataclass
 from random import Random
@@ -35,6 +34,7 @@ from repro.config import MIB, PAGE_SIZE, preset_config
 from repro.leakcheck.victims import get_victim
 from repro.os.page_alloc import PageAllocator
 from repro.proc.processor import SecureProcessor
+from repro.utils.provenance import git_rev as _git_rev
 
 SCHEMA_VERSION = 1
 _STEADY_OPS = 4000
@@ -64,18 +64,6 @@ class BenchResult:
     @property
     def filename(self) -> str:
         return f"BENCH_{self.scenario}.json"
-
-
-def _git_rev() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True, text=True, timeout=10,
-            cwd=pathlib.Path(__file__).resolve().parent,
-        )
-    except OSError:
-        return "unknown"
-    return out.stdout.strip() if out.returncode == 0 else "unknown"
 
 
 def _bench_machine(preset: str) -> tuple[SecureProcessor, PageAllocator]:

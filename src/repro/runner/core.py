@@ -17,6 +17,7 @@ import signal
 import threading
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -32,7 +33,16 @@ STATUS_SKIPPED = "skipped"
 
 
 class TaskTimeout(Exception):
-    """A task exceeded its wall-clock budget."""
+    """A task exceeded its wall-clock budget.
+
+    ``leaked_thread`` names the abandoned worker thread when the
+    thread-fallback path expired: the thread cannot be killed and keeps
+    running (it may keep mutating shared state) until it finishes or
+    the process exits — it is a daemon thread, so it never blocks
+    interpreter shutdown, but callers should know the leak happened.
+    """
+
+    leaked_thread: str | None = None
 
 
 @dataclass(frozen=True)
@@ -211,7 +221,8 @@ def _call_with_timeout(
 
     # Fallback (non-main thread / platforms without SIGALRM): run on a
     # daemon worker and abandon it on expiry.  The worker cannot be
-    # killed, but its eventual result is discarded.
+    # killed, but its eventual result is discarded; daemon=True keeps
+    # the leaked thread from blocking interpreter shutdown.
     box: dict[str, Any] = {}
 
     def _target() -> None:
@@ -220,11 +231,17 @@ def _call_with_timeout(
         except BaseException as error:  # noqa: BLE001 - transported below
             box["error"] = error
 
-    worker = threading.Thread(target=_target, daemon=True)
+    worker = threading.Thread(
+        target=_target, daemon=True, name=f"runner-task-{id(box):x}"
+    )
     worker.start()
     worker.join(timeout)
     if worker.is_alive():
-        raise TaskTimeout(f"timed out after {timeout:g}s (worker abandoned)")
+        timeout_error = TaskTimeout(
+            f"timed out after {timeout:g}s (worker abandoned)"
+        )
+        timeout_error.leaked_thread = worker.name
+        raise timeout_error
     if "error" in box:
         raise box["error"]
     return box.get("result")
@@ -259,6 +276,7 @@ class ExperimentRunner:
         self.fail_fast = fail_fast
         self._sleep = sleep
         self._clock = clock
+        self._warned_thread_leak = False
 
     # ------------------------------------------------------------------
 
@@ -322,6 +340,26 @@ class ExperimentRunner:
                 record.status = STATUS_TIMEOUT
                 record.error = str(error)
                 record.detail = ""
+                if error.leaked_thread is not None:
+                    # The thread-fallback path cannot kill the expired
+                    # task: record the leak so the manifest shows it,
+                    # and warn once per runner.
+                    record.detail = (
+                        f"abandoned daemon worker thread "
+                        f"{error.leaked_thread!r} may still be running "
+                        f"and mutating shared state"
+                    )
+                    if not self._warned_thread_leak:
+                        self._warned_thread_leak = True
+                        warnings.warn(
+                            "task timeout used the thread-fallback path: "
+                            "the expired task's daemon thread cannot be "
+                            "killed and keeps running in the background "
+                            "(run on the main thread for SIGALRM-based "
+                            "hard timeouts)",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
             except KeyboardInterrupt:
                 raise
             except BaseException as error:  # crash isolation

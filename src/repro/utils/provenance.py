@@ -1,0 +1,24 @@
+"""Provenance helpers shared by bench results and the campaign DB.
+
+Both subsystems stamp persisted measurements with the git revision they
+were produced under, so a cached or baseline result can never be
+silently compared against — or served for — a different code version.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+
+
+def git_rev() -> str:
+    """The repository HEAD revision, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"

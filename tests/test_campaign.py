@@ -1,0 +1,410 @@
+"""Tests for the crash-isolated sharded campaign engine.
+
+Task functions live at module level so they pickle across the worker
+pipe; the crash/stop helpers simulate real failure modes (``os._exit``
+mid-task, a stopped process whose heartbeat goes stale) rather than
+raising polite exceptions.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignDB,
+    CampaignEngine,
+    CampaignTask,
+    PayloadError,
+    TEST_CRASH_ENV,
+    config_hash,
+    decode_payload,
+    derive_task_seed,
+    encode_payload,
+)
+from repro.campaign import engine as engine_mod
+from repro.campaign.engine import _fn_resolvable
+from repro.runner import load_manifest
+
+
+# -- module-level task functions (picklable across the worker pipe) -------
+
+
+def compute(x, seed=0):
+    return {"x": x, "seed": seed, "cubes": tuple(i**3 for i in range(x))}
+
+
+def always_crash():
+    os._exit(17)
+
+
+def crash_until_marker(marker):
+    if not os.path.exists(marker):
+        pathlib.Path(marker).write_text("crashed\n")
+        os._exit(17)
+    return "recovered"
+
+
+def fail_once_then_succeed(marker, seed=0):
+    if not os.path.exists(marker):
+        pathlib.Path(marker).write_text("failed\n")
+        raise RuntimeError("transient fault")
+    return {"seed": seed}
+
+
+def stop_self():
+    # A stopped process keeps is_alive() true but stops heartbeating:
+    # the closest cheap stand-in for a truly wedged worker.
+    os.kill(os.getpid(), signal.SIGSTOP)
+    time.sleep(60)
+
+
+def ignore_alarm_and_sleep():
+    signal.signal(signal.SIGALRM, signal.SIG_IGN)
+    time.sleep(60)
+
+
+def return_unpicklable():
+    return lambda: None
+
+
+# -- payload codec --------------------------------------------------------
+
+
+class TestPayloadCodec:
+    def test_plain_values_round_trip(self):
+        value = {"a": [1, 2.5, "x", None, True], "b": {"nested": [0]}}
+        assert decode_payload(encode_payload(value)) == value
+
+    def test_tuples_bytes_and_special_floats(self):
+        value = {"t": (1, (2, 3)), "raw": b"\x00\xff", "inf": float("inf")}
+        out = decode_payload(encode_payload(value))
+        assert out["t"] == (1, (2, 3)) and isinstance(out["t"], tuple)
+        assert out["raw"] == b"\x00\xff"
+        assert out["inf"] == float("inf")
+
+    def test_repro_dataclasses_round_trip(self):
+        from repro.analysis.report import FigureResult, Row
+
+        result = FigureResult(
+            figure="fig0", title="t",
+            rows=(Row(label="s", measured=1.5, paper="~2", unit="cycles"),),
+            notes=("n",),
+        )
+        restored = decode_payload(encode_payload(result))
+        assert restored == result
+
+    def test_enums_round_trip(self):
+        from repro.faults.injector import FaultSite
+
+        site = next(iter(FaultSite))
+        assert decode_payload(encode_payload({"site": site}))["site"] is site
+
+    def test_encoding_is_deterministic(self):
+        value = {"b": 2, "a": 1, "t": (3, 4)}
+        assert encode_payload(value) == encode_payload(dict(value))
+
+    def test_foreign_types_are_refused(self):
+        with pytest.raises(PayloadError):
+            encode_payload(object())
+
+    def test_foreign_modules_are_refused_on_decode(self):
+        hostile = json.dumps({
+            "__repro__": "dataclass", "type": "os:stat_result", "fields": {},
+        })
+        with pytest.raises(PayloadError):
+            decode_payload(hostile)
+
+
+# -- config hashing and seed derivation -----------------------------------
+
+
+class TestConfigHash:
+    def test_stable_across_calls(self):
+        assert (config_hash("t", compute, {"x": 3})
+                == config_hash("t", compute, {"x": 3}))
+
+    def test_sensitive_to_name_fn_and_kwargs(self):
+        base = config_hash("t", compute, {"x": 3})
+        assert config_hash("u", compute, {"x": 3}) != base
+        assert config_hash("t", always_crash, {"x": 3}) != base
+        assert config_hash("t", compute, {"x": 4}) != base
+
+    def test_kwarg_order_does_not_matter(self):
+        assert (config_hash("t", compute, {"x": 1, "seed": 2})
+                == config_hash("t", compute, {"seed": 2, "x": 1}))
+
+    def test_derive_task_seed_is_deterministic_and_distinct(self):
+        assert derive_task_seed(7, "a", 0) == derive_task_seed(7, "a", 0)
+        assert derive_task_seed(7, "a", 0) != derive_task_seed(7, "a", 1)
+        assert derive_task_seed(7, "a", 0) != derive_task_seed(7, "b", 0)
+
+    def test_fn_resolvable_rejects_closures_and_lambdas(self):
+        assert _fn_resolvable(compute)
+        assert not _fn_resolvable(lambda: None)
+
+        def inner():
+            pass
+
+        assert not _fn_resolvable(inner)
+
+
+# -- campaign DB ----------------------------------------------------------
+
+
+class TestCampaignDB:
+    def test_record_and_lookup(self, tmp_path):
+        with CampaignDB(tmp_path / "c.sqlite") as db:
+            db.record_run(
+                config_hash="h", git_rev="r", name="t", seed=1, status="ok",
+                attempts=1, elapsed=0.5, payload=encode_payload({"v": 1}),
+            )
+            row = db.lookup("h", "r")
+            assert row is not None and decode_payload(row.payload) == {"v": 1}
+            assert db.lookup("h", "other-rev") is None
+            assert db.lookup("other-hash", "r") is None
+
+    def test_failed_runs_are_recorded_but_never_served(self, tmp_path):
+        with CampaignDB(tmp_path / "c.sqlite") as db:
+            db.record_run(
+                config_hash="h", git_rev="r", name="t", seed=None,
+                status="failed", attempts=2, elapsed=0.1, error="boom",
+            )
+            assert db.lookup("h", "r") is None
+            assert db.counts() == {"failed": 1}
+            assert len(db) == 1
+
+    def test_latest_success_wins(self, tmp_path):
+        with CampaignDB(tmp_path / "c.sqlite") as db:
+            for version in (1, 2):
+                db.record_run(
+                    config_hash="h", git_rev="r", name="t", seed=None,
+                    status="ok", attempts=1, elapsed=0.1,
+                    payload=encode_payload({"v": version}),
+                )
+            assert decode_payload(db.lookup("h", "r").payload) == {"v": 2}
+
+
+# -- engine: determinism and caching --------------------------------------
+
+
+def _tasks(values):
+    return [CampaignTask(name=f"compute_{v}", fn=compute, kwargs={"x": v})
+            for v in values]
+
+
+class TestEngineDeterminism:
+    def test_serial_and_parallel_payloads_are_byte_identical(self, tmp_path):
+        serial = CampaignEngine(jobs=1).run(_tasks([2, 3, 4]))
+        parallel = CampaignEngine(jobs=4).run(_tasks([2, 3, 4]))
+        for left, right in zip(serial.records, parallel.records):
+            assert left.ok and right.ok
+            assert encode_payload(left.result) == encode_payload(right.result)
+
+    def test_warm_db_serves_everything_without_executing(self, tmp_path):
+        db_path = tmp_path / "c.sqlite"
+        first = CampaignEngine(jobs=1, db=db_path)
+        assert first.run(_tasks([2, 3])).status == "pass"
+        assert int(first.registry.counter("executed").value) == 2
+
+        second = CampaignEngine(jobs=1, db=db_path)
+        report = second.run(_tasks([2, 3]))
+        assert report.status == "pass"
+        assert all(r.cached for r in report.records)
+        assert int(second.registry.counter("executed").value) == 0
+        assert second.registry.snapshot()["cache.hits"] == 2
+        assert "served from campaign cache" in second.summary_line()
+        assert (report.records[0].result
+                == first.run(_tasks([2])).records[0].result)
+
+    def test_no_cache_still_records_runs(self, tmp_path):
+        db_path = tmp_path / "c.sqlite"
+        CampaignEngine(jobs=1, db=db_path).run(_tasks([2]))
+        engine = CampaignEngine(jobs=1, db=db_path, use_cache=False)
+        report = engine.run(_tasks([2]))
+        assert not report.records[0].cached
+        assert int(engine.registry.counter("executed").value) == 1
+        with CampaignDB(db_path) as db:
+            assert db.counts()["ok"] == 2
+
+    def test_git_rev_change_invalidates_the_cache(self, tmp_path):
+        db_path = tmp_path / "c.sqlite"
+        CampaignEngine(jobs=1, db=db_path, git_rev="rev-a").run(_tasks([2]))
+        engine = CampaignEngine(jobs=1, db=db_path, git_rev="rev-b")
+        report = engine.run(_tasks([2]))
+        assert not report.records[0].cached
+        assert engine.registry.snapshot()["cache.misses"] == 1
+
+    def test_closures_never_touch_the_cache(self, tmp_path):
+        db_path = tmp_path / "c.sqlite"
+
+        def make(value):
+            def figure():
+                return {"value": value}
+            return figure
+
+        for value in (1, 2):  # same qualname, different behaviour
+            engine = CampaignEngine(jobs=1, db=db_path)
+            record = engine.run(
+                [CampaignTask(name="fig", fn=make(value))]
+            ).records[0]
+            assert record.ok and not record.cached
+            assert record.result == {"value": value}
+        with CampaignDB(db_path) as db:
+            assert len(db) == 0
+
+
+# -- engine: crash isolation ----------------------------------------------
+
+
+class TestCrashIsolation:
+    def test_worker_killed_mid_task_is_retried_and_batch_completes(
+        self, tmp_path, monkeypatch
+    ):
+        marker = tmp_path / "crash.marker"
+        monkeypatch.setenv(TEST_CRASH_ENV, f"compute_2={marker}")
+        engine = CampaignEngine(jobs=2, retries=2, backoff=0.01,
+                                db=tmp_path / "c.sqlite")
+        report = engine.run(_tasks([2, 3]))
+        assert report.status == "pass"
+        assert marker.exists()
+        crashed = report.record("compute_2")
+        assert crashed.ok and crashed.attempts == 2
+        assert crashed.result == compute(2)
+        assert engine.registry.snapshot()["workers.crashed"] == 1
+        assert "worker crash(es) reaped" in engine.summary_line()
+
+    def test_hard_exit_in_task_fn_is_reaped(self, tmp_path):
+        engine = CampaignEngine(jobs=2, retries=1, backoff=0.01)
+        marker = tmp_path / "exit.marker"
+        report = engine.run([
+            CampaignTask(name="bad", fn=crash_until_marker,
+                         kwargs={"marker": str(marker)}),
+            CampaignTask(name="good", fn=compute, kwargs={"x": 3}),
+        ])
+        assert report.record("bad").ok
+        assert report.record("bad").result == "recovered"
+        assert report.record("good").ok
+
+    def test_exhausted_retries_degrade_to_a_failed_record(self):
+        engine = CampaignEngine(jobs=2, retries=1, backoff=0.01)
+        report = engine.run([
+            CampaignTask(name="doomed", fn=always_crash),
+            CampaignTask(name="fine", fn=compute, kwargs={"x": 2}),
+        ])
+        doomed = report.record("doomed")
+        assert doomed.status == "failed"
+        assert doomed.attempts == 2
+        assert "worker crashed" in doomed.error
+        assert report.record("fine").ok  # the batch is never lost wholesale
+
+    def test_stalled_heartbeat_is_killed_by_the_watchdog(self):
+        # jobs >= 2 forces the worker-process path; the serial path runs
+        # in-process and offers no crash isolation by design.
+        engine = CampaignEngine(jobs=2, retries=0, backoff=0.0,
+                                heartbeat_timeout=0.5)
+        report = engine.run([CampaignTask(name="wedged", fn=stop_self)])
+        record = report.records[0]
+        assert record.status == "timeout"
+        assert "watchdog" in record.error
+        assert engine.registry.snapshot()["workers.hung"] == 1
+
+    def test_deadline_backstop_when_sigalrm_cannot_fire(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_DEADLINE_SLACK", 1.0)
+        monkeypatch.setattr(engine_mod, "_DEADLINE_GRACE", 0.5)
+        engine = CampaignEngine(jobs=2, retries=0, timeout=0.2)
+        report = engine.run(
+            [CampaignTask(name="stuck", fn=ignore_alarm_and_sleep)]
+        )
+        assert report.records[0].status == "timeout"
+
+    def test_retry_reseeds_shard_independently(self, tmp_path):
+        marker = tmp_path / "flaky.marker"
+        engine = CampaignEngine(jobs=2, retries=2, backoff=0.01,
+                                reseed_base=500)
+        report = engine.run([
+            CampaignTask(name="flaky", fn=fail_once_then_succeed,
+                         kwargs={"marker": str(marker)}),
+        ])
+        record = report.records[0]
+        assert record.ok and record.attempts == 2
+        assert record.result == {"seed": 501}  # reseed_base + attempt index
+        assert record.seed == 501
+
+
+# -- engine: degradations and plumbing ------------------------------------
+
+
+class TestEngineDegradations:
+    def test_unpicklable_fn_runs_inline(self):
+        engine = CampaignEngine(jobs=2)
+        report = engine.run(
+            [CampaignTask(name="closure", fn=lambda: {"ok": True})]
+        )
+        assert report.records[0].ok
+        assert report.records[0].result == {"ok": True}
+        assert int(
+            engine.registry.counter("inline_fallbacks").value
+        ) == 1
+
+    def test_unpicklable_result_degrades_to_a_note(self):
+        engine = CampaignEngine(jobs=2)
+        report = engine.run(
+            [CampaignTask(name="lam", fn=return_unpicklable)]
+        )
+        record = report.records[0]
+        assert record.ok
+        assert record.result is None
+        assert "not transferable" in record.detail
+
+    def test_manifest_resume_takes_precedence_over_execution(self, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        engine = CampaignEngine(jobs=1, manifest_path=manifest)
+        assert engine.run(_tasks([2])).status == "pass"
+        assert load_manifest(manifest)["compute_2"].ok
+
+        resumed = CampaignEngine(jobs=1, manifest_path=manifest, resume=True)
+        report = resumed.run(_tasks([2]))
+        assert report.records[0].cached
+        assert int(resumed.registry.counter("executed").value) == 0
+        assert resumed.registry.snapshot()["cache.manifest_hits"] == 1
+
+    def test_duplicate_task_names_are_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            CampaignEngine(jobs=1).run(_tasks([2]) + _tasks([2]))
+
+    def test_parallel_fail_fast_skips_remaining(self):
+        engine = CampaignEngine(jobs=1, fail_fast=True)
+        report = engine.run([
+            CampaignTask(name="boom", fn=always_crash_exception),
+            CampaignTask(name="later", fn=compute, kwargs={"x": 2}),
+        ])
+        assert report.record("boom").status == "failed"
+        assert report.record("later").status == "skipped"
+
+    def test_engine_validates_arguments(self):
+        with pytest.raises(ValueError):
+            CampaignEngine(jobs=0)
+        with pytest.raises(ValueError):
+            CampaignEngine(retries=-1)
+        with pytest.raises(ValueError):
+            CampaignEngine(timeout=0.0)
+        with pytest.raises(ValueError):
+            CampaignEngine(heartbeat_timeout=0.0)
+
+    def test_prometheus_export_covers_campaign_counters(self, tmp_path):
+        from repro.perf import prometheus_text
+
+        engine = CampaignEngine(jobs=1, db=tmp_path / "c.sqlite")
+        engine.run(_tasks([2]))
+        text = prometheus_text(engine.registry, namespace="repro_campaign")
+        assert "repro_campaign_cache_hits_total" in text
+        assert "repro_campaign_workers_crashed_total" in text
+        assert "repro_campaign_executed_total 1" in text
+
+
+def always_crash_exception():
+    raise RuntimeError("boom")

@@ -214,3 +214,95 @@ class TestFaultsCommand:
         args = build_parser().parse_args(["faults", "--preset", "all"])
         assert args.preset == "all"
         assert args.sites == 200
+
+
+class TestCampaignOptions:
+    """The shared --jobs/--no-cache/--campaign-db/--timeout/--retries."""
+
+    @pytest.mark.parametrize(
+        "command", ["figures", "faults", "leakcheck", "bench"]
+    )
+    def test_every_campaign_subcommand_has_the_flags(self, command):
+        extra = ["--victim", "rsa"] if command == "leakcheck" else []
+        args = build_parser().parse_args([command, *extra, "--jobs", "3"])
+        assert args.jobs == 3
+        assert args.retries == 0
+        assert args.timeout is None
+        assert args.campaign_db is None
+        assert not args.no_cache
+
+    def test_jobs_zero_means_one_per_core(self):
+        import os
+
+        args = build_parser().parse_args(["figures", "--jobs", "0"])
+        assert args.jobs == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--jobs", "-1"],
+            ["--jobs", "two"],
+            ["--retries", "-2"],
+            ["--retries", "many"],
+            ["--timeout", "0"],
+            ["--timeout", "-3"],
+            ["--timeout", "soon"],
+        ],
+    )
+    @pytest.mark.parametrize("command", ["figures", "faults", "bench"])
+    def test_bad_values_are_rejected_consistently(
+        self, command, flags, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, *flags])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert flags[0] in err or "invalid" in err
+
+    def test_parallel_figures_run_matches_serial(self, capsys, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        assert main(["figures", "fig8", "--quick",
+                     "--out", str(serial_dir)]) == 0
+        assert main(["figures", "fig8", "--quick",
+                     "--out", str(parallel_dir), "--jobs", "2"]) == 0
+        assert (serial_dir / "fig8.txt").read_text() == \
+            (parallel_dir / "fig8.txt").read_text()
+
+    def test_warm_campaign_db_serves_the_rerun(self, capsys, tmp_path):
+        db = tmp_path / "campaign.sqlite"
+        base = ["figures", "fig8", "--quick", "--out", str(tmp_path),
+                "--campaign-db", str(db)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "[campaign cache]" in out
+        assert "all 1 task(s) served from campaign cache" in out
+        assert db.exists()
+
+    def test_no_cache_forces_re_execution(self, capsys, tmp_path):
+        db = tmp_path / "campaign.sqlite"
+        base = ["figures", "fig8", "--quick", "--out", str(tmp_path),
+                "--campaign-db", str(db)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main([*base, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "[campaign cache]" not in out
+        assert "1 executed" in out
+
+    def test_campaign_db_defaults_into_the_out_dir(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CAMPAIGN_DB", raising=False)
+        assert main(["figures", "fig8", "--quick",
+                     "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "campaign.sqlite").exists()
+
+    def test_campaign_metrics_are_exported(self, capsys, tmp_path):
+        assert main(["figures", "fig8", "--quick",
+                     "--out", str(tmp_path)]) == 0
+        prom = (tmp_path / "campaign_metrics.prom").read_text()
+        assert "repro_campaign_tasks_total 1" in prom
+        assert "repro_campaign_workers_crashed_total" in prom

@@ -31,6 +31,7 @@ class TestTimeouts:
         with pytest.raises(KeyError):
             _call_with_timeout(lambda: {}["missing"], {}, timeout=5.0)
 
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_thread_fallback_when_not_main_thread(self):
         # Off the main thread SIGALRM is unavailable; the worker-thread
         # fallback must still enforce the budget.
@@ -46,6 +47,41 @@ class TestTimeouts:
         worker.start()
         worker.join(10)
         assert box["report"].records[0].status == "timeout"
+
+    def test_thread_fallback_records_the_leaked_thread(self, recwarn):
+        # The abandoned worker cannot be killed: the record must say so
+        # and the runner must warn (once), since the leaked thread may
+        # keep mutating shared state.
+        box = {}
+
+        def off_main():
+            runner = ExperimentRunner(timeout=0.05)
+            box["report"] = runner.run([
+                TaskSpec("slow1", lambda: time.sleep(1.0)),
+                TaskSpec("slow2", lambda: time.sleep(1.0)),
+            ])
+
+        worker = threading.Thread(target=off_main)
+        worker.start()
+        worker.join(10)
+        records = box["report"].records
+        assert all(r.status == "timeout" for r in records)
+        for record in records:
+            assert "abandoned daemon worker thread" in record.detail
+            assert "runner-task-" in record.detail
+        leak_warnings = [
+            w for w in recwarn.list
+            if issubclass(w.category, RuntimeWarning)
+            and "thread-fallback" in str(w.message)
+        ]
+        assert len(leak_warnings) == 1  # once per runner, not per task
+
+    def test_sigalrm_timeout_leaks_nothing(self):
+        runner = ExperimentRunner(timeout=0.05)
+        report = runner.run([TaskSpec("slow", lambda: time.sleep(1.0))])
+        record = report.records[0]
+        assert record.status == "timeout"
+        assert record.detail == ""  # main thread: alarm path, no leak
 
 
 class TestRetries:
