@@ -10,7 +10,7 @@ keyed by config hash + git revision so unchanged re-runs are served
 from cache.  See ``docs/robustness.md``.
 """
 
-from repro.campaign.db import CampaignDB, RunRow, config_hash
+from repro.campaign.db import CampaignDB, JobRow, RunRow, config_hash
 from repro.campaign.engine import (
     CampaignEngine,
     CampaignTask,
@@ -27,6 +27,7 @@ __all__ = [
     "CampaignDB",
     "CampaignEngine",
     "CampaignTask",
+    "JobRow",
     "PayloadError",
     "RunRow",
     "TEST_CRASH_ENV",

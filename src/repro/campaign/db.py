@@ -1,17 +1,26 @@
-"""Persistent sqlite campaign DB: every run's provenance and payload.
+"""Persistent sqlite campaign DB: run provenance, payloads, job journal.
 
-One row per *executed* task attempt-chain: config hash, seed, git rev,
-terminal status, timing, and (for successes) the result payload in the
-deterministic :mod:`repro.campaign.payload` encoding.  The cache
+One ``runs`` row per *executed* task attempt-chain: config hash, seed,
+git rev, terminal status, timing, and (for successes) the result payload
+in the deterministic :mod:`repro.campaign.payload` encoding.  The cache
 contract is strict — a row is served only when config hash *and* git
 revision match and the stored payload decodes — so a code change, a
 kwarg change, or a corrupted row all degrade to a cache miss, never to
 a stale result.
 
-Only the campaign coordinator touches the DB (workers ship results back
-over pipes), so there is no cross-process write contention; WAL mode
-still keeps concurrent read-only inspection (``sqlite3 campaign.db``)
-safe while a campaign is in flight.
+The ``jobs`` table is the leakcheck service's **write-ahead job
+journal** (:mod:`repro.service`): a job is journalled *before* the
+server acknowledges it, every state transition is committed as it
+happens, and on startup any row still ``queued``/``running`` is
+re-queued — so an accepted job survives a ``kill -9`` of the server.
+
+The campaign coordinator remains the only writer of ``runs`` rows
+*within one process*, but the service introduces benign cross-process
+and cross-connection concurrency (journal writes on the server
+connection while per-job engines record runs on their own).  WAL mode
+plus an explicit ``busy_timeout`` and a retry-on-``SQLITE_BUSY``
+wrapper keep those writers from ever surfacing a transient lock as a
+crash.
 """
 
 from __future__ import annotations
@@ -25,7 +34,14 @@ from typing import Any, Callable
 
 from repro.campaign.payload import PayloadError, encode_payload
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Transient-lock retry policy: attempts beyond the first, and the base
+#: of the exponential sleep between them.  Combined with sqlite's own
+#: ``busy_timeout`` (which blocks inside the C library first), a writer
+#: only fails once a lock has been held for several full seconds.
+_BUSY_RETRIES = 5
+_BUSY_BACKOFF_S = 0.05
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -47,7 +63,25 @@ CREATE TABLE IF NOT EXISTS runs (
     created REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_runs_key ON runs (config_hash, git_rev, status);
+CREATE TABLE IF NOT EXISTS jobs (
+    id TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    spec TEXT NOT NULL,
+    state TEXT NOT NULL,
+    submitted REAL NOT NULL,
+    updated REAL NOT NULL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    resumed INTEGER NOT NULL DEFAULT 0,
+    error TEXT NOT NULL DEFAULT '',
+    result TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state);
 """
+
+
+def _is_busy_error(error: sqlite3.OperationalError) -> bool:
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
 
 
 def config_hash(name: str, fn: Callable[..., Any], kwargs: dict[str, Any]) -> str:
@@ -87,21 +121,84 @@ class RunRow:
     created: float
 
 
+@dataclass(frozen=True)
+class JobRow:
+    """One journalled service job (see :mod:`repro.service`)."""
+
+    id: str
+    kind: str
+    spec: str
+    state: str
+    submitted: float
+    updated: float
+    attempts: int
+    resumed: int
+    error: str
+    result: str | None
+
+
+_JOB_COLUMNS = (
+    "id, kind, spec, state, submitted, updated, attempts, resumed,"
+    " error, result"
+)
+
+
 class CampaignDB:
     """Append-mostly store of campaign runs keyed by (config hash, git rev)."""
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        busy_timeout: float = 5.0,
+        check_same_thread: bool = True,
+    ) -> None:
+        if busy_timeout < 0:
+            raise ValueError("busy_timeout must be non-negative")
         self.path = os.fspath(path)
+        self.busy_timeout = busy_timeout
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(
+            self.path, timeout=busy_timeout,
+            check_same_thread=check_same_thread,
+        )
         self._conn.execute("PRAGMA journal_mode=WAL")
+        # Block inside sqlite itself while another connection commits;
+        # the _execute/_commit retry loop backs this up for the (rare)
+        # cases sqlite still surfaces SQLITE_BUSY, e.g. a competing
+        # writer upgrading to an exclusive lock.
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
+        # WAL + NORMAL keeps commits durable across process crashes
+        # (kill -9) while skipping the per-commit fsync; an OS-level
+        # power loss may drop the last few commits, which the service
+        # treats the same as jobs that never arrived.
+        self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
-        self._conn.execute(
+        self._execute(
             "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
             ("schema_version", str(SCHEMA_VERSION)),
         )
-        self._conn.commit()
+        self._commit()
+
+    # -- busy-retry plumbing ----------------------------------------------
+
+    def _execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        """``conn.execute`` that retries transient SQLITE_BUSY errors."""
+        return self._with_busy_retry(lambda: self._conn.execute(sql, params))
+
+    def _commit(self) -> None:
+        self._with_busy_retry(self._conn.commit)
+
+    def _with_busy_retry(self, op: Callable[[], Any]) -> Any:
+        for attempt in range(_BUSY_RETRIES + 1):
+            try:
+                return op()
+            except sqlite3.OperationalError as error:
+                if not _is_busy_error(error) or attempt == _BUSY_RETRIES:
+                    raise
+                time.sleep(_BUSY_BACKOFF_S * (2 ** attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- writes ------------------------------------------------------------
 
@@ -120,7 +217,7 @@ class CampaignDB:
         payload: str | None = None,
     ) -> None:
         """Persist one executed task's terminal outcome."""
-        self._conn.execute(
+        self._execute(
             "INSERT INTO runs (config_hash, git_rev, name, seed, status,"
             " attempts, elapsed, error, detail, payload, created)"
             " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -129,13 +226,13 @@ class CampaignDB:
                 attempts, elapsed, error, detail, payload, time.time(),
             ),
         )
-        self._conn.commit()
+        self._commit()
 
     # -- reads -------------------------------------------------------------
 
     def lookup(self, config_hash: str, git_rev: str) -> RunRow | None:
         """Latest successful run with a payload for this exact config + rev."""
-        cur = self._conn.execute(
+        cur = self._execute(
             "SELECT config_hash, git_rev, name, seed, status, attempts,"
             " elapsed, error, detail, payload, created FROM runs"
             " WHERE config_hash = ? AND git_rev = ? AND status = 'ok'"
@@ -155,17 +252,89 @@ class CampaignDB:
         if name is not None:
             query += " WHERE name = ?"
             params = (name,)
-        return [RunRow(*row) for row in self._conn.execute(query + " ORDER BY id", params)]
+        return [RunRow(*row) for row in self._execute(query + " ORDER BY id", params)]
 
     def counts(self) -> dict[str, int]:
         """``{status: rows}`` across the whole DB."""
         return dict(
-            self._conn.execute("SELECT status, COUNT(*) FROM runs GROUP BY status")
+            self._execute("SELECT status, COUNT(*) FROM runs GROUP BY status")
         )
 
     def __len__(self) -> int:
-        (count,) = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()
+        (count,) = self._execute("SELECT COUNT(*) FROM runs").fetchone()
         return count
+
+    # -- job journal (write-ahead log for the leakcheck service) ----------
+
+    def journal_put(
+        self,
+        *,
+        job_id: str,
+        kind: str,
+        spec: str,
+        state: str,
+        resumed: int = 0,
+        error: str = "",
+        result: str | None = None,
+    ) -> None:
+        """Journal a newly accepted job *before* acknowledging it."""
+        now = time.time()
+        self._execute(
+            f"INSERT INTO jobs ({_JOB_COLUMNS})"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (job_id, kind, spec, state, now, now, 0, resumed, error, result),
+        )
+        self._commit()
+
+    def journal_update(
+        self,
+        job_id: str,
+        *,
+        state: str,
+        attempts: int | None = None,
+        resumed: int | None = None,
+        error: str | None = None,
+        result: str | None = None,
+    ) -> None:
+        """Commit one job state transition (and optional outcome fields)."""
+        sets = ["state = ?", "updated = ?"]
+        params: list[Any] = [state, time.time()]
+        for column, value in (
+            ("attempts", attempts), ("resumed", resumed),
+            ("error", error), ("result", result),
+        ):
+            if value is not None:
+                sets.append(f"{column} = ?")
+                params.append(value)
+        params.append(job_id)
+        self._execute(
+            f"UPDATE jobs SET {', '.join(sets)} WHERE id = ?", tuple(params)
+        )
+        self._commit()
+
+    def journal_get(self, job_id: str) -> JobRow | None:
+        cur = self._execute(
+            f"SELECT {_JOB_COLUMNS} FROM jobs WHERE id = ?", (job_id,)
+        )
+        row = cur.fetchone()
+        return JobRow(*row) if row is not None else None
+
+    def journal_jobs(self, *, states: tuple[str, ...] | None = None) -> list[JobRow]:
+        """Journalled jobs, oldest first (optionally filtered by state)."""
+        query = f"SELECT {_JOB_COLUMNS} FROM jobs"
+        params: tuple = ()
+        if states:
+            marks = ", ".join("?" for _ in states)
+            query += f" WHERE state IN ({marks})"
+            params = tuple(states)
+        return [
+            JobRow(*row)
+            for row in self._execute(query + " ORDER BY submitted, id", params)
+        ]
+
+    def journal_pending(self) -> list[JobRow]:
+        """Jobs a restarted service must re-queue: queued or running."""
+        return self.journal_jobs(states=("queued", "running"))
 
     def close(self) -> None:
         self._conn.close()

@@ -36,7 +36,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import random
+import signal
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
@@ -242,6 +245,17 @@ class CampaignEngine:
         self.fail_fast = fail_fast
         self.heartbeat_timeout = heartbeat_timeout
         self.git_rev = git_rev if git_rev is not None else _git_rev()
+        # Cooperative shutdown: request_stop() (drain: in-flight tasks
+        # finish, pending tasks become cancelled records) and the
+        # coordinator's own SIGINT/SIGTERM handler (interrupt: in-flight
+        # workers are killed too).  Both are sticky for the engine's
+        # lifetime; an engine runs one campaign.
+        self._stop_requested = False
+        self._interrupted = False
+        # Retry backoff uses full jitter (uniform in [0, cap]) so many
+        # shards failing at once do not retry in lockstep; seeding from
+        # reseed_base keeps test campaigns reproducible.
+        self._backoff_rng = random.Random(reseed_base)
 
         self.registry = registry if registry is not None else CounterRegistry()
         self._c_tasks = self.registry.counter("tasks")
@@ -251,6 +265,7 @@ class CampaignEngine:
         self._c_timeout = self.registry.counter("timeout")
         self._c_skipped = self.registry.counter("skipped")
         self._c_retries = self.registry.counter("retries")
+        self._c_cancelled = self.registry.counter("cancelled")
         self._c_inline = self.registry.counter("inline_fallbacks")
         cache_reg = CounterRegistry()
         self.registry.mount("cache", cache_reg)
@@ -327,7 +342,37 @@ class CampaignEngine:
             parts.append(f"all {total} task(s) served from campaign cache")
         return "; ".join(parts)
 
+    def request_stop(self) -> None:
+        """Ask a running campaign to drain: finish in-flight tasks, turn
+        every still-pending task into a ``cancelled`` record, and return
+        normally.  Safe to call from any thread (the leakcheck service
+        calls it from its event loop during graceful shutdown)."""
+        self._stop_requested = True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested
+
     # -- shared plumbing ---------------------------------------------------
+
+    def _retry_delay(self, attempts: int) -> float:
+        """Full-jitter exponential backoff delay before retry ``attempts``.
+
+        Uniform in ``[0, backoff * 2**(attempts-1)]``: the cap preserves
+        the exponential envelope while the jitter decorrelates retries,
+        so a wave of shards failing together (worker host hiccup, shared
+        resource exhaustion) does not re-execute in lockstep.
+        """
+        if self.backoff <= 0:
+            return 0.0
+        cap = self.backoff * (2 ** max(0, attempts - 1))
+        return self._backoff_rng.uniform(0.0, cap)
+
+    def _cancel_record(self, name: str, why: str) -> TaskRecord:
+        self._c_cancelled.incr()
+        return TaskRecord(
+            name=name, status=STATUS_SKIPPED, error=f"cancelled ({why})"
+        )
 
     def _effective(self, task: CampaignTask) -> tuple[float | None, int]:
         timeout = task.timeout if task.timeout is not None else self.timeout
@@ -437,7 +482,9 @@ class CampaignEngine:
         )
         abort = False
         for task in tasks:
-            if abort:
+            if self._stop_requested:
+                record = self._cancel_record(task.name, "drain requested")
+            elif abort:
                 record = TaskRecord(
                     name=task.name,
                     status=STATUS_SKIPPED,
@@ -455,7 +502,7 @@ class CampaignEngine:
                 )
             results[task.name] = record
             self._land(record, manifest, on_record,
-                       persist=not abort, task=task)
+                       persist=record.status != STATUS_SKIPPED, task=task)
             if self.fail_fast and record.status in (STATUS_FAILED,
                                                     STATUS_TIMEOUT):
                 abort = True
@@ -483,10 +530,53 @@ class CampaignEngine:
             pending.append(_TaskState(task, timeout=timeout, retries=retries))
         workers: list[_Worker] = []
         abort = False
+        # The coordinator owns worker processes, so Ctrl-C / SIGTERM must
+        # reap them and flush landed records instead of dying mid-batch
+        # and leaking orphans.  The handler only flips flags; the loop
+        # below does the cleanup, then KeyboardInterrupt is re-raised so
+        # callers see the usual interrupt exit.  Handlers can only be
+        # installed on the main thread; engines running inside service
+        # executor threads rely on request_stop() instead.
+        installed: list[tuple[int, Any]] = []
+        if threading.current_thread() is threading.main_thread():
+            def _on_signal(signum: int, frame: Any) -> None:  # noqa: ARG001
+                self._interrupted = True
+                self._stop_requested = True
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    installed.append((signum, signal.signal(signum, _on_signal)))
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
         try:
             while pending or any(w.busy for w in workers):
                 now = time.monotonic()
                 self._watchdog_pass(workers, pending, now)
+                if self._stop_requested:
+                    why = ("interrupted" if self._interrupted
+                           else "drain requested")
+                    for state in pending:
+                        record = self._cancel_record(state.task.name, why)
+                        results[state.task.name] = record
+                        self._land(record, manifest, on_record,
+                                   persist=False, task=state.task)
+                    pending.clear()
+                    if self._interrupted:
+                        # Interrupt also abandons in-flight work: kill
+                        # the workers and land cancelled records so the
+                        # manifest reflects exactly what completed.
+                        for worker in list(workers):
+                            state, worker.state = worker.state, None
+                            if state is not None:
+                                record = self._cancel_record(
+                                    state.task.name, why
+                                )
+                                results[state.task.name] = record
+                                self._land(record, manifest, on_record,
+                                           persist=False, task=state.task)
+                            worker.kill()
+                            workers.remove(worker)
+                        break
                 if abort and pending:
                     # Fail-fast: nothing new is scheduled; in-flight
                     # tasks finish, the rest become skipped records.
@@ -530,6 +620,15 @@ class CampaignEngine:
             for worker in workers:
                 if worker.busy or worker.proc.is_alive():
                     worker.stop()
+            for signum, previous in installed:
+                try:
+                    signal.signal(signum, previous)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+        if self._interrupted:
+            # Workers reaped, records landed, manifest flushed — now
+            # surface the interrupt the way callers expect.
+            raise KeyboardInterrupt
 
     def _watchdog_pass(
         self, workers: list[_Worker], pending: list[_TaskState], now: float
@@ -568,10 +667,7 @@ class CampaignEngine:
                 state.last_detail = ""
             worker.kill()
             workers.remove(worker)
-            state.eligible_at = now + (
-                self.backoff * (2 ** (state.attempts - 1))
-                if self.backoff > 0 else 0.0
-            )
+            state.eligible_at = now + self._retry_delay(state.attempts)
             pending.append(state)
 
     def _assign(
@@ -585,6 +681,8 @@ class CampaignEngine:
         now: float,
     ) -> None:
         """Hand eligible tasks to idle workers, spawning up to ``jobs``."""
+        if self._stop_requested:
+            return  # draining: nothing new reaches a worker
         for state in list(pending):
             # Retries exhausted -> terminal failed/timeout record.
             if state.attempts > state.retries:
@@ -693,16 +791,16 @@ class CampaignEngine:
             self._land(record, manifest, on_record,
                        persist=True, task=state.task)
             return record
-        if state.attempts > state.retries:
+        if state.attempts > state.retries or self._stop_requested:
+            # Retries exhausted — or a drain is in progress, in which
+            # case the task keeps its last real outcome instead of
+            # burning retry budget the shutdown will cancel anyway.
             record = self._finalize_state(state)
             results[state.task.name] = record
             self._land(record, manifest, on_record,
                        persist=True, task=state.task)
             return record
-        state.eligible_at = time.monotonic() + (
-            self.backoff * (2 ** (state.attempts - 1))
-            if self.backoff > 0 else 0.0
-        )
+        state.eligible_at = time.monotonic() + self._retry_delay(state.attempts)
         pending.append(state)
         return None
 

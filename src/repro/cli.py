@@ -63,6 +63,24 @@ Commands
     bench results replay the stored measurement; pass ``--no-cache``
     when you want fresh host-throughput numbers.
 
+``serve [--host H] [--port P] [--capacity N] [--concurrency N]
+[--jobs N] [--timeout S] [--retries N] [--backoff S] [--drain-grace S]
+[--campaign-db FILE]``
+    Run the fault-tolerant leakcheck job service: an HTTP server that
+    accepts probe/leakcheck/bench jobs as JSON, journals every accepted
+    job in the campaign DB before acknowledging it (jobs survive
+    ``kill -9`` and resume on restart), dedups repeat submissions via
+    the campaign result cache, sheds overload with 429 +
+    ``Retry-After``, and drains gracefully on SIGTERM/SIGINT (exit 0).
+    See ``docs/service.md``.
+
+``service-load --port P [-n N] [--concurrency N] [--kind K]
+[--spec JSON] [--same-seed] [--json FILE]``
+    Load-generate against a running service: submit N jobs, honour 429
+    back-pressure, poll all jobs to a terminal state, and report
+    sustained jobs/sec.  Exits non-zero unless every job reached
+    ``done``.
+
 ``profile --victim NAME [--preset sct|ht|sgx] [--seed S]
 [--collapsed FILE] [--prom FILE] [--min-share F]``
     Run one victim under the cycle-attribution profiler and print the
@@ -608,6 +626,87 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import LeakcheckService
+
+    async def _serve() -> int:
+        service = LeakcheckService(
+            str(_resolve_campaign_db(args)),
+            host=args.host,
+            port=args.port,
+            capacity=args.capacity,
+            concurrency=args.concurrency,
+            job_timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            engine_jobs=args.jobs,
+            drain_grace=args.drain_grace,
+        )
+        await service.start()
+        loop = asyncio.get_running_loop()
+        # SIGTERM/SIGINT start a graceful drain: stop admitting, let
+        # running jobs finish (or checkpoint them), exit 0.  A second
+        # signal is absorbed by the same idempotent handler, so an
+        # impatient operator cannot corrupt the drain.
+        for signo in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signo, service.begin_drain)
+        print(
+            f"leakcheck service listening on "
+            f"http://{service.host}:{service.port} "
+            f"(db={service.db_path}, capacity={service.capacity}, "
+            f"workers={service.concurrency})",
+            flush=True,
+        )
+        await service.wait_closed()
+        service.db.close()
+        print(service.summary_line())
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _cmd_service_load(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import ServiceClientError, format_load_report, run_load
+
+    spec: dict = {}
+    if args.spec:
+        try:
+            spec = json.loads(args.spec)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"--spec must be valid JSON: {error}") from None
+        if not isinstance(spec, dict):
+            raise ValueError("--spec must be a JSON object")
+    try:
+        report = asyncio.run(
+            run_load(
+                args.host,
+                args.port,
+                jobs=args.n,
+                concurrency=args.concurrency,
+                kind=args.kind,
+                spec=spec,
+                distinct_seeds=not args.same_seed,
+                poll_interval=args.poll_interval,
+            )
+        )
+    except ServiceClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote load report to {args.json}")
+    print(format_load_report(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.config import preset_config
     from repro.leakcheck import get_victim
@@ -791,6 +890,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_options(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the fault-tolerant leakcheck job service (HTTP)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port; 0 picks a free port (default 8642)",
+    )
+    serve.add_argument(
+        "--capacity", type=_positive_int, default=64, metavar="N",
+        help="admission bound: queued jobs beyond N are shed with 429 "
+        "(default 64)",
+    )
+    serve.add_argument(
+        "--concurrency", type=_positive_int, default=2, metavar="N",
+        help="jobs executed concurrently (default 2)",
+    )
+    serve.add_argument(
+        "--jobs", type=_jobs_count, default=1, metavar="N",
+        help="campaign worker processes per job "
+        "(0 = one per CPU core; default 1 = in-thread)",
+    )
+    serve.add_argument(
+        "--timeout", type=_timeout_seconds, default=None, metavar="S",
+        help="wall-clock budget per task within a job (default: none)",
+    )
+    serve.add_argument(
+        "--retries", type=_retries_count, default=0, metavar="N",
+        help="retry failed/crashed tasks up to N times with backoff",
+    )
+    serve.add_argument(
+        "--backoff", type=float, default=0.5, metavar="S",
+        help="base retry backoff in seconds, full jitter (default 0.5)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=_timeout_seconds, default=30.0, metavar="S",
+        help="seconds to let running jobs finish on SIGTERM/SIGINT "
+        "before asking their engines to stop (default 30)",
+    )
+    serve.add_argument(
+        "--campaign-db", metavar="FILE", default=None,
+        help="campaign DB path, also the job journal (default: env "
+        f"REPRO_CAMPAIGN_DB, else {_DEFAULT_CAMPAIGN_DB})",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    service_load = commands.add_parser(
+        "service-load",
+        help="load-generate against a running leakcheck service",
+    )
+    service_load.add_argument(
+        "-n", type=_positive_int, default=16, metavar="N",
+        help="jobs to submit (default 16)",
+    )
+    service_load.add_argument(
+        "--host", default="127.0.0.1", help="service address",
+    )
+    service_load.add_argument(
+        "--port", type=int, required=True, help="service port",
+    )
+    service_load.add_argument(
+        "--concurrency", type=_positive_int, default=8, metavar="N",
+        help="client-side concurrent submissions (default 8)",
+    )
+    service_load.add_argument(
+        "--kind", choices=["probe", "leakcheck", "bench"], default="probe",
+        help="job kind to submit (default probe)",
+    )
+    service_load.add_argument(
+        "--spec", default=None, metavar="JSON",
+        help='job spec as JSON, e.g. \'{"ops": 300}\' or '
+        '\'{"victim": "rsa_modexp"}\'',
+    )
+    service_load.add_argument(
+        "--same-seed", action="store_true",
+        help="submit identical jobs (measures the dedup fast path) "
+        "instead of distinct seeds",
+    )
+    service_load.add_argument(
+        "--poll-interval", type=_timeout_seconds, default=0.05, metavar="S",
+        help="status poll interval in seconds (default 0.05)",
+    )
+    service_load.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the load report as JSON",
+    )
+    service_load.set_defaults(func=_cmd_service_load)
 
     profile = commands.add_parser(
         "profile", help="cycle-attribution profile of one victim run"

@@ -1,0 +1,58 @@
+"""Fault-tolerant leakcheck-as-a-service layer over the campaign engine.
+
+``repro serve`` runs :class:`LeakcheckService` — a stdlib-only asyncio
+HTTP job server with bounded admission (429 + ``Retry-After`` when the
+queue is full), a write-ahead job journal in the campaign sqlite DB
+(accepted jobs survive ``kill -9`` and resume on restart), dedup of
+repeat submissions via the campaign result cache, and SIGTERM/SIGINT
+graceful drain.  ``repro service-load`` is the matching load generator.
+See ``docs/service.md``.
+"""
+
+from repro.service.client import (
+    LoadReport,
+    ServiceClientError,
+    format_load_report,
+    http_request,
+    run_load,
+)
+from repro.service.jobs import (
+    ALL_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    TIMEOUT,
+    Job,
+    JobStateError,
+    build_job_tasks,
+    job_kinds,
+    run_probe,
+    summarize_records,
+)
+from repro.service.server import LeakcheckService
+
+__all__ = [
+    "ALL_STATES",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "TIMEOUT",
+    "Job",
+    "JobStateError",
+    "LeakcheckService",
+    "LoadReport",
+    "ServiceClientError",
+    "build_job_tasks",
+    "format_load_report",
+    "http_request",
+    "job_kinds",
+    "run_load",
+    "run_probe",
+    "summarize_records",
+]

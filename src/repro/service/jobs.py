@@ -1,0 +1,335 @@
+"""Service job model: state machine, specs, and campaign-task mapping.
+
+A *job* is what the HTTP server accepts: a kind (``probe``,
+``leakcheck``, ``bench``), a JSON spec, and a server-assigned id.  A job
+expands into one or more :class:`~repro.campaign.CampaignTask` — the
+unit the campaign engine executes, retries, and caches — via
+:func:`build_job_tasks`; the task names and kwargs match what the CLI
+subcommands submit, so the service and ``python -m repro leakcheck``
+share one result cache.
+
+The state machine is strict::
+
+    queued ──► running ──► done | failed | timeout | cancelled
+       │                                      ▲
+       ├──────────────────────────────────────┘   (cancelled in queue)
+       └──► done                                  (served from cache)
+
+Invalid transitions raise :class:`JobStateError` instead of silently
+corrupting the journal, and terminal states never change again.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.campaign.engine import CampaignTask
+from repro.campaign.payload import PayloadError, encode_payload
+from repro.runner.core import STATUS_OK, STATUS_SKIPPED, STATUS_TIMEOUT
+
+# -- job states ------------------------------------------------------------
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, TIMEOUT, CANCELLED})
+
+#: Every state, for validation when rows come back from the journal.
+ALL_STATES = frozenset({QUEUED, RUNNING}) | TERMINAL_STATES
+
+_ALLOWED: dict[str, frozenset[str]] = {
+    QUEUED: frozenset({RUNNING, CANCELLED, DONE}),
+    RUNNING: frozenset({DONE, FAILED, TIMEOUT, CANCELLED}),
+}
+
+#: Guardrail on probe work so a single load-test job cannot wedge a
+#: worker for minutes; real workloads go through leakcheck/bench kinds.
+MAX_PROBE_OPS = 1_000_000
+
+
+class JobStateError(RuntimeError):
+    """An illegal job state transition (or an unknown state)."""
+
+
+@dataclass
+class Job:
+    """One accepted service job and its lifecycle bookkeeping."""
+
+    id: str
+    kind: str
+    spec: dict[str, Any]
+    state: str = QUEUED
+    submitted: float = field(default_factory=time.time)
+    updated: float = field(default_factory=time.time)
+    attempts: int = 0
+    resumed: bool = False
+    cached: bool = False
+    cancel_requested: bool = False
+    error: str = ""
+    result: dict[str, Any] | None = None
+
+    def advance(self, new_state: str) -> None:
+        """Transition to ``new_state``; raises JobStateError if illegal."""
+        if new_state not in ALL_STATES:
+            raise JobStateError(f"unknown job state {new_state!r}")
+        allowed = _ALLOWED.get(self.state, frozenset())
+        if new_state not in allowed:
+            raise JobStateError(
+                f"job {self.id}: illegal transition "
+                f"{self.state!r} -> {new_state!r}"
+            )
+        self.state = new_state
+        self.updated = time.time()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, *, brief: bool = False) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "submitted": self.submitted,
+            "updated": self.updated,
+            "attempts": self.attempts,
+            "resumed": self.resumed,
+            "cached": self.cached,
+        }
+        if brief:
+            return out
+        out["spec"] = self.spec
+        out["error"] = self.error
+        out["result"] = self.result
+        return out
+
+
+# -- probe workload --------------------------------------------------------
+
+
+def run_probe(*, preset: str = "sct", ops: int = 400, seed: int = 0) -> dict:
+    """A small seeded steady-state workload: the service's load-test job.
+
+    Runs ``ops`` mixed accesses (reads, writes, occasional flushes) on a
+    deliberately small machine so the job finishes in tens of
+    milliseconds.  The simulated columns are deterministic per
+    ``(preset, ops, seed)``, which makes probe jobs ideal both for the
+    sustained-jobs/sec bench scenario and for exercising the campaign
+    cache (an identical resubmission is a dedup hit).
+    """
+    from random import Random
+
+    from repro.config import MIB, PAGE_SIZE, preset_config
+    from repro.os.page_alloc import PageAllocator
+    from repro.proc.processor import SecureProcessor
+
+    overrides: dict[str, object] = {
+        "functional_crypto": False, "timer_jitter_sigma": 0.0,
+    }
+    if preset != "sgx":
+        overrides["protected_size"] = 8 * MIB
+    config = preset_config(preset, **overrides)
+    proc = SecureProcessor(config)
+    allocator = PageAllocator(
+        proc.layout.data_size // PAGE_SIZE, cores=proc.config.cores
+    )
+    rng = Random(seed)
+    frames = allocator.alloc_many(8, core=0)
+    addrs = [
+        frame * PAGE_SIZE + 64 * rng.randrange(PAGE_SIZE // 64)
+        for frame in frames for _ in range(4)
+    ]
+    for i in range(ops):
+        addr = rng.choice(addrs)
+        roll = rng.random()
+        if roll < 0.72:
+            proc.read(addr, core=0)
+        elif roll < 0.94:
+            proc.write(addr, i.to_bytes(8, "little"), core=0)
+        else:
+            proc.flush(addr)
+    proc.drain_writes()
+    return {
+        "preset": preset,
+        "ops": ops,
+        "seed": seed,
+        "simulated_cycles": proc.cycle,
+        "accesses": ops + 1,
+    }
+
+
+# -- spec validation and task expansion ------------------------------------
+
+
+def _require_int(spec: dict, key: str, default: int, *, lo: int | None = None,
+                 hi: int | None = None) -> int:
+    value = spec.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"spec[{key!r}] must be an integer, got {value!r}")
+    if lo is not None and value < lo:
+        raise ValueError(f"spec[{key!r}] must be >= {lo}, got {value}")
+    if hi is not None and value > hi:
+        raise ValueError(f"spec[{key!r}] must be <= {hi}, got {value}")
+    return value
+
+
+def build_job_tasks(
+    kind: str, spec: dict[str, Any]
+) -> tuple[dict[str, Any], list[CampaignTask]]:
+    """Validate a job spec and expand it into campaign tasks.
+
+    Returns ``(normalized_spec, tasks)``; raises :class:`ValueError` for
+    anything malformed, which the server maps to HTTP 400.  Task names
+    and kwargs deliberately mirror the equivalent CLI invocations so the
+    campaign cache is shared between the service and the CLI.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(f"job spec must be a JSON object, got {type(spec).__name__}")
+
+    if kind == "probe":
+        from repro.config import preset_names
+
+        preset = spec.get("preset", "sct")
+        if preset not in preset_names():
+            raise ValueError(
+                f"unknown preset {preset!r}; choose from {list(preset_names())}"
+            )
+        ops = _require_int(spec, "ops", 400, lo=1, hi=MAX_PROBE_OPS)
+        seed = _require_int(spec, "seed", 0)
+        normalized = {"preset": preset, "ops": ops, "seed": seed}
+        task = CampaignTask(
+            name=f"probe_{preset}_o{ops}_s{seed}",
+            fn=run_probe,
+            kwargs=normalized,
+        )
+        return normalized, [task]
+
+    if kind == "leakcheck":
+        from repro.leakcheck import run_leakcheck
+        from repro.leakcheck.victims import victim_names
+
+        victim = spec.get("victim")
+        if victim not in victim_names():
+            raise ValueError(
+                f"unknown leakcheck victim {victim!r}; "
+                f"choose from {victim_names()}"
+            )
+        seed = _require_int(spec, "seed", 0)
+        seeds = _require_int(spec, "seeds", 1, lo=1, hi=64)
+        alpha = spec.get("alpha", 0.01)
+        if isinstance(alpha, bool) or not isinstance(alpha, (int, float)):
+            raise ValueError(f"spec['alpha'] must be a number, got {alpha!r}")
+        if not 0 < alpha < 1:
+            raise ValueError(f"spec['alpha'] must be in (0, 1), got {alpha}")
+        normalized = {
+            "victim": victim, "seed": seed, "seeds": seeds,
+            "alpha": float(alpha),
+        }
+        tasks = [
+            CampaignTask(
+                name=f"leakcheck_{victim}_s{seed + offset}",
+                fn=run_leakcheck,
+                kwargs={
+                    "victim": victim, "seed": seed + offset,
+                    "alpha": float(alpha),
+                },
+            )
+            for offset in range(seeds)
+        ]
+        return normalized, tasks
+
+    if kind == "bench":
+        from repro.perf import bench
+
+        scenario = spec.get("scenario")
+        if scenario not in bench.scenario_names():
+            raise ValueError(
+                f"unknown bench scenario {scenario!r}; "
+                f"choose from {bench.scenario_names()}"
+            )
+        seed = _require_int(spec, "seed", 0)
+        quick = spec.get("quick", False)
+        if not isinstance(quick, bool):
+            raise ValueError(f"spec['quick'] must be a boolean, got {quick!r}")
+        normalized = {"scenario": scenario, "seed": seed, "quick": quick}
+        task = CampaignTask(
+            name=f"bench_{scenario}",
+            fn=bench.run_scenario,
+            kwargs={"name": scenario, "seed": seed, "quick": quick},
+        )
+        return normalized, [task]
+
+    raise ValueError(
+        f"unknown job kind {kind!r}; choose from ['probe', 'leakcheck', 'bench']"
+    )
+
+
+def job_kinds() -> list[str]:
+    return ["probe", "leakcheck", "bench"]
+
+
+# -- outcome summarisation -------------------------------------------------
+
+
+def summarize_records(records: list[Any]) -> tuple[str, dict[str, Any], str]:
+    """Fold task records into ``(job_state, result_summary, error)``.
+
+    Severity order: any ``failed`` task fails the job, else any
+    ``timeout`` times it out, else any cancelled/skipped task marks it
+    cancelled (a drain checkpointed it mid-run), else it is done.
+    """
+    tasks: list[dict[str, Any]] = []
+    errors: list[str] = []
+    n_ok = n_cached = n_failed = n_timeout = n_skipped = 0
+    for record in records:
+        entry: dict[str, Any] = {
+            "name": record.name,
+            "status": record.status,
+            "attempts": record.attempts,
+            "elapsed": round(record.elapsed, 6),
+            "cached": record.cached,
+        }
+        if record.error:
+            entry["error"] = record.error
+            errors.append(f"{record.name}: {record.error}")
+        if record.status == STATUS_OK:
+            n_ok += 1
+            if record.cached:
+                n_cached += 1
+            try:
+                entry["result"] = json.loads(encode_payload(record.result))
+            except PayloadError:
+                entry["result"] = None
+                entry["result_note"] = "result not serialisable"
+        elif record.status == STATUS_TIMEOUT:
+            n_timeout += 1
+        elif record.status == STATUS_SKIPPED:
+            n_skipped += 1
+        else:
+            n_failed += 1
+        tasks.append(entry)
+    if n_failed:
+        state = FAILED
+    elif n_timeout:
+        state = TIMEOUT
+    elif n_skipped:
+        state = CANCELLED
+    else:
+        state = DONE
+    summary = {
+        "tasks": tasks,
+        "ok": n_ok,
+        "cached": n_cached,
+        "failed": n_failed,
+        "timeout": n_timeout,
+        "cancelled": n_skipped,
+    }
+    return state, summary, "; ".join(errors)

@@ -1,0 +1,626 @@
+"""Fault-tolerant leakcheck job server (stdlib-only asyncio HTTP).
+
+``LeakcheckService`` is the long-running layer over the campaign
+engine: it accepts leakage-check / bench / probe jobs as JSON over
+HTTP, journals every accepted job in the campaign sqlite DB *before*
+acknowledging it, dedups against the campaign result cache by blake2b
+config hash, and executes admitted jobs through per-job
+:class:`~repro.campaign.CampaignEngine` instances on a thread executor.
+
+Robustness properties, in order of importance:
+
+* **No accepted job is ever lost.**  The journal write commits before
+  the 202 response leaves the socket; on startup any job still
+  ``queued``/``running`` is re-queued (counted in
+  ``repro_service_resumed_total``), so a ``kill -9`` mid-run only costs
+  the partial work, never the job.
+* **Bounded admission.**  The queue never exceeds ``capacity``; excess
+  submissions are shed with ``429 Too Many Requests`` plus a
+  ``Retry-After`` estimate derived from the observed job rate —
+  overload degrades to back-pressure, not to unbounded memory.
+* **Graceful drain.**  SIGTERM/SIGINT (wired by ``repro serve``) stops
+  admission (``/readyz`` flips to 503), checkpoints still-queued jobs
+  back to the journal, lets running jobs finish within a grace period
+  (after which their engines get a cooperative
+  :meth:`~repro.campaign.CampaignEngine.request_stop`), and exits 0.
+* **Per-job budgets.**  Timeouts, bounded retries, and full-jitter
+  backoff all reuse the campaign engine's machinery, so a hung victim
+  degrades to a structured ``timeout`` job, not a wedged worker.
+
+The HTTP layer is a deliberately small hand-rolled HTTP/1.1
+implementation over ``asyncio`` streams (one request per connection,
+``Connection: close``) — the repo ships no web framework and does not
+need one for a JSON job API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import uuid
+from typing import Any
+
+from repro.campaign.db import CampaignDB, JobRow
+from repro.campaign.engine import CampaignEngine, CampaignTask, _fn_resolvable
+from repro.perf.metrics import prometheus_text
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TIMEOUT,
+    Job,
+    build_job_tasks,
+    summarize_records,
+)
+from repro.trace.counters import CounterRegistry
+from repro.utils.provenance import git_rev as _git_rev
+
+#: Largest accepted request body; a job spec is a few hundred bytes.
+_MAX_BODY = 1 << 20
+
+#: Per-connection read budget: a stalled client cannot pin a handler.
+_IO_TIMEOUT_S = 30.0
+
+#: Terminal jobs kept in memory for fast status reads; older ones are
+#: evicted (their journal rows remain authoritative).
+_MEMORY_JOBS = 4096
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Sentinel pushed onto the queue to wake idle workers during drain.
+_STOP = None
+
+
+class LeakcheckService:
+    """Asyncio HTTP job server over the campaign engine (see module doc)."""
+
+    def __init__(
+        self,
+        db_path: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capacity: int = 64,
+        concurrency: int = 2,
+        job_timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.5,
+        engine_jobs: int = 1,
+        drain_grace: float = 30.0,
+        registry: CounterRegistry | None = None,
+        git_rev: str | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be a positive queue bound")
+        if concurrency < 1:
+            raise ValueError("concurrency must be a positive worker count")
+        if engine_jobs < 1:
+            raise ValueError("engine_jobs must be a positive shard count")
+        if drain_grace <= 0:
+            raise ValueError("drain_grace must be positive seconds")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.db_path = str(db_path)
+        self.host = host
+        self.port = port
+        self.capacity = capacity
+        self.concurrency = concurrency
+        self.job_timeout = job_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.engine_jobs = engine_jobs
+        self.drain_grace = drain_grace
+        self.git_rev = git_rev if git_rev is not None else _git_rev()
+
+        self.registry = registry if registry is not None else CounterRegistry()
+        self._c_requests = self.registry.counter("requests")
+        self._c_admitted = self.registry.counter("admitted")
+        self._c_shed = self.registry.counter("shed")
+        self._c_rejected = self.registry.counter("rejected")
+        self._c_dedup = self.registry.counter("dedup_hits")
+        self._c_resumed = self.registry.counter("resumed")
+        self._c_drained = self.registry.counter("drained")
+        self._c_done = self.registry.counter("done")
+        self._c_failed = self.registry.counter("failed")
+        self._c_timeout = self.registry.counter("timeout")
+        self._c_cancelled = self.registry.counter("cancelled")
+        self.registry.gauge("queue_depth", lambda: float(self._queue_depth()))
+        self.registry.gauge("running", lambda: float(len(self._running)))
+        self.registry.gauge("draining", lambda: float(self._draining))
+
+        self.db: CampaignDB | None = None
+        self._jobs: dict[str, Job] = {}
+        self._running: dict[str, CampaignEngine] = {}
+        self._queue: asyncio.Queue[Job | None] = asyncio.Queue()
+        self._workers: list[asyncio.Task] = []
+        self._server: asyncio.base_events.Server | None = None
+        self._draining = False
+        self._drain_task: asyncio.Task | None = None
+        self._stopped: asyncio.Event | None = None
+        self._avg_job_s = 1.0  # EMA of job wall time, for Retry-After
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the journal, resume pending jobs, start workers + listener."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self.db = CampaignDB(self.db_path)
+        self._resume_journal()
+        self._workers = [
+            asyncio.ensure_future(self._worker_loop())
+            for _ in range(self.concurrency)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_closed(self) -> None:
+        """Block until a drain has fully completed."""
+        assert self._stopped is not None, "service not started"
+        await self._stopped.wait()
+
+    async def close(self) -> None:
+        """Programmatic graceful shutdown (tests, bench): drain and wait."""
+        self.begin_drain()
+        await self.wait_closed()
+        if self.db is not None:
+            self.db.close()
+
+    def begin_drain(self) -> None:
+        """Enter drain mode; idempotent, safe to call from a signal handler."""
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_task = asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        # Checkpoint still-queued jobs: their journal rows stay 'queued'
+        # so the next start re-queues them; only the in-memory queue is
+        # emptied.  No await between get_nowait calls, so no worker can
+        # interleave and steal one mid-checkpoint.
+        while not self._queue.empty():
+            job = self._queue.get_nowait()
+            if job is not None and job.state == QUEUED:
+                self._c_drained.incr()
+        for _ in self._workers:
+            self._queue.put_nowait(_STOP)
+        done, still_running = await asyncio.wait(
+            self._workers, timeout=self.drain_grace
+        )
+        if still_running:
+            # Grace expired: ask in-flight engines to stop scheduling and
+            # finish cooperatively, then give them one more grace period.
+            for engine in list(self._running.values()):
+                engine.request_stop()
+            done, still_running = await asyncio.wait(
+                still_running, timeout=self.drain_grace
+            )
+        for task in still_running:
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._stopped.set()
+
+    def _resume_journal(self) -> None:
+        """Re-queue every journalled job that never reached a terminal state."""
+        assert self.db is not None
+        for row in self.db.journal_pending():
+            try:
+                spec = json.loads(row.spec)
+            except json.JSONDecodeError:
+                spec = {}
+            job = Job(
+                id=row.id, kind=row.kind, spec=spec, state=QUEUED,
+                submitted=row.submitted, attempts=row.attempts, resumed=True,
+            )
+            self.db.journal_update(row.id, state=QUEUED, resumed=1)
+            self._remember(job)
+            self._queue.put_nowait(job)
+            self._c_resumed.incr()
+
+    # -- job execution -----------------------------------------------------
+
+    def _queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    async def _worker_loop(self) -> None:
+        while True:
+            job = await self._queue.get()
+            if job is _STOP:
+                return
+            if job.state == CANCELLED:
+                continue
+            if job.cancel_requested:
+                job.advance(CANCELLED)
+                self._journal_terminal(job)
+                continue
+            job.advance(RUNNING)
+            job.attempts += 1
+            self.db.journal_update(
+                job.id, state=RUNNING, attempts=job.attempts
+            )
+            started = self._loop.time()
+            try:
+                state, summary, error = await self._loop.run_in_executor(
+                    None, self._execute_job, job
+                )
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                state, summary, error = (
+                    FAILED, None, f"{type(exc).__name__}: {exc}"
+                )
+            finally:
+                self._running.pop(job.id, None)
+            elapsed = self._loop.time() - started
+            self._avg_job_s = 0.8 * self._avg_job_s + 0.2 * max(0.01, elapsed)
+            job.error = error
+            job.result = summary
+            if summary is not None:
+                job.cached = (
+                    summary["ok"] > 0 and summary["cached"] == summary["ok"]
+                    and summary["failed"] == summary["timeout"] == 0
+                )
+            job.advance(state)
+            self._journal_terminal(job)
+
+    def _execute_job(
+        self, job: Job
+    ) -> tuple[str, dict[str, Any] | None, str]:
+        """Run one job through a fresh campaign engine (executor thread)."""
+        _, tasks = build_job_tasks(job.kind, job.spec)
+        engine = CampaignEngine(
+            jobs=self.engine_jobs,
+            timeout=self.job_timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            reseed_base=job.spec.get("seed"),
+            db=self.db_path,
+            use_cache=True,
+            git_rev=self.git_rev,
+        )
+        self._running[job.id] = engine
+        if job.cancel_requested:
+            engine.request_stop()
+        report = engine.run(tasks)
+        engine.db.close()
+        return summarize_records(report.records)
+
+    def _journal_terminal(self, job: Job) -> None:
+        result_text = (
+            json.dumps(job.result, sort_keys=True)
+            if job.result is not None else None
+        )
+        self.db.journal_update(
+            job.id, state=job.state, error=job.error, result=result_text,
+        )
+        counter = {
+            DONE: self._c_done, FAILED: self._c_failed,
+            TIMEOUT: self._c_timeout, CANCELLED: self._c_cancelled,
+        }.get(job.state)
+        if counter is not None:
+            counter.incr()
+
+    # -- admission ---------------------------------------------------------
+
+    def _retry_after_s(self) -> int:
+        backlog = self._queue_depth() + len(self._running)
+        estimate = backlog * self._avg_job_s / max(1, self.concurrency)
+        return max(1, min(120, int(estimate) + 1))
+
+    def _try_cache_serve(
+        self, tasks: list[CampaignTask]
+    ) -> dict[str, Any] | None:
+        """Admission-time dedup: serve the whole job from the campaign DB.
+
+        Only complete hits count — if any task misses (or is uncacheable)
+        the job is queued normally and the engine re-checks per task.
+        """
+        entries = []
+        for task in tasks:
+            if not _fn_resolvable(task.fn):
+                return None
+            row = self.db.lookup(task.config_hash, self.git_rev)
+            if row is None:
+                return None
+            try:
+                result = json.loads(row.payload)
+            except (json.JSONDecodeError, TypeError):
+                return None
+            entries.append({
+                "name": task.name, "status": "ok", "attempts": row.attempts,
+                "elapsed": row.elapsed, "cached": True, "result": result,
+            })
+        return {
+            "tasks": entries, "ok": len(entries), "cached": len(entries),
+            "failed": 0, "timeout": 0, "cancelled": 0,
+        }
+
+    def _remember(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        if len(self._jobs) <= _MEMORY_JOBS:
+            return
+        for job_id, old in list(self._jobs.items()):
+            if old.terminal:
+                del self._jobs[job_id]
+                if len(self._jobs) <= _MEMORY_JOBS:
+                    break
+
+    def _submit(self, body: bytes) -> tuple[int, Any, dict[str, str]]:
+        if self._draining:
+            return 503, {"error": "service is draining; not admitting jobs"}, {
+                "Retry-After": "30"
+            }
+        try:
+            data = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._c_rejected.incr()
+            return 400, {"error": "request body must be a JSON object"}, {}
+        if not isinstance(data, dict):
+            self._c_rejected.incr()
+            return 400, {"error": "request body must be a JSON object"}, {}
+        kind = data.get("kind")
+        spec = data.get("spec", {})
+        try:
+            normalized, tasks = build_job_tasks(kind, spec)
+        except ValueError as error:
+            self._c_rejected.incr()
+            return 400, {"error": str(error)}, {}
+        if self._queue_depth() >= self.capacity:
+            self._c_shed.incr()
+            retry_after = self._retry_after_s()
+            return 429, {
+                "error": "job queue is full",
+                "queue_depth": self._queue_depth(),
+                "capacity": self.capacity,
+                "retry_after_s": retry_after,
+            }, {"Retry-After": str(retry_after)}
+
+        job = Job(id=uuid.uuid4().hex[:12], kind=kind, spec=normalized)
+        cached = self._try_cache_serve(tasks)
+        if cached is not None:
+            # Dedup hit: journal the job already-terminal and reply 200
+            # without ever queueing work.
+            self.db.journal_put(
+                job_id=job.id, kind=job.kind,
+                spec=json.dumps(normalized, sort_keys=True),
+                state=DONE, result=json.dumps(cached, sort_keys=True),
+            )
+            job.advance(DONE)
+            job.cached = True
+            job.result = cached
+            self._remember(job)
+            self._c_admitted.incr()
+            self._c_dedup.incr()
+            self._c_done.incr()
+            return 200, job.to_dict(), {}
+        # Write-ahead: the journal row commits before the client hears
+        # "accepted", so a crash after this line can only re-run the job,
+        # never forget it.
+        self.db.journal_put(
+            job_id=job.id, kind=job.kind,
+            spec=json.dumps(normalized, sort_keys=True), state=QUEUED,
+        )
+        self._remember(job)
+        self._queue.put_nowait(job)
+        self._c_admitted.incr()
+        return 202, job.to_dict(), {}
+
+    def _cancel(self, job_id: str) -> tuple[int, Any, dict[str, str]]:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, {}
+        if job.terminal:
+            return 409, {
+                "error": f"job already terminal ({job.state})",
+                "job": job.to_dict(brief=True),
+            }, {}
+        job.cancel_requested = True
+        if job.state == QUEUED:
+            job.advance(CANCELLED)
+            self._journal_terminal(job)
+            return 200, job.to_dict(), {}
+        engine = self._running.get(job_id)
+        if engine is not None:
+            engine.request_stop()
+        return 202, job.to_dict(), {}
+
+    def _job_status(self, job_id: str) -> tuple[int, Any, dict[str, str]]:
+        job = self._jobs.get(job_id)
+        if job is not None:
+            return 200, job.to_dict(), {}
+        assert self.db is not None
+        row = self.db.journal_get(job_id)
+        if row is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, {}
+        return 200, _row_to_dict(row), {}
+
+    def _job_list(self) -> tuple[int, Any, dict[str, str]]:
+        jobs = [job.to_dict(brief=True) for job in self._jobs.values()]
+        by_state: dict[str, int] = {}
+        for job in jobs:
+            by_state[job["state"]] = by_state.get(job["state"], 0) + 1
+        return 200, {
+            "jobs": jobs,
+            "by_state": by_state,
+            "queue_depth": self._queue_depth(),
+            "capacity": self.capacity,
+            "draining": self._draining,
+        }, {}
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, Any, dict[str, str], str]:
+        """Dispatch one request; returns (status, payload, headers, ctype)."""
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "GET only"}, {}, "application/json"
+            return 200, {"status": "ok"}, {}, "application/json"
+        if path == "/readyz":
+            if method != "GET":
+                return 405, {"error": "GET only"}, {}, "application/json"
+            if self._draining:
+                return 503, {"status": "draining"}, {}, "application/json"
+            return 200, {
+                "status": "ready",
+                "queue_depth": self._queue_depth(),
+                "capacity": self.capacity,
+            }, {}, "application/json"
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "GET only"}, {}, "application/json"
+            text = prometheus_text(self.registry, namespace="repro_service")
+            return 200, text, {}, "text/plain; version=0.0.4"
+        if path == "/jobs":
+            if method == "POST":
+                status, payload, headers = self._submit(body)
+                return status, payload, headers, "application/json"
+            if method == "GET":
+                status, payload, headers = self._job_list()
+                return status, payload, headers, "application/json"
+            return 405, {"error": "GET or POST"}, {}, "application/json"
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            if method == "GET":
+                status, payload, headers = self._job_status(job_id)
+                return status, payload, headers, "application/json"
+            if method == "DELETE":
+                status, payload, headers = self._cancel(job_id)
+                return status, payload, headers, "application/json"
+            return 405, {"error": "GET or DELETE"}, {}, "application/json"
+        return 404, {"error": f"no route for {path!r}"}, {}, "application/json"
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._c_requests.incr()
+        status, payload, headers, ctype = (
+            400, {"error": "malformed request"}, {}, "application/json"
+        )
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=_IO_TIMEOUT_S
+            )
+            parts = request_line.decode("latin-1").split()
+            if len(parts) >= 2:
+                method, path = parts[0].upper(), parts[1]
+                req_headers: dict[str, str] = {}
+                for _ in range(100):
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=_IO_TIMEOUT_S
+                    )
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    req_headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(req_headers.get("content-length", "0"))
+                except ValueError:
+                    length = -1
+                if length < 0 or length > _MAX_BODY:
+                    status, payload = 413, {"error": "body too large"}
+                else:
+                    body = b""
+                    if length:
+                        body = await asyncio.wait_for(
+                            reader.readexactly(length), timeout=_IO_TIMEOUT_S
+                        )
+                    try:
+                        status, payload, headers, ctype = self._route(
+                            method, path, body
+                        )
+                    except Exception as exc:  # noqa: BLE001 - keep serving
+                        status, payload = 500, {
+                            "error": f"{type(exc).__name__}: {exc}"
+                        }
+        except (
+            asyncio.TimeoutError, asyncio.IncompleteReadError,
+            ConnectionError, UnicodeDecodeError,
+        ):
+            pass
+        try:
+            if isinstance(payload, str):
+                raw = payload.encode("utf-8")
+            else:
+                raw = (json.dumps(payload, sort_keys=True) + "\n").encode()
+            reason = _REASONS.get(status, "Unknown")
+            head_lines = [
+                f"HTTP/1.1 {status} {reason}",
+                f"Content-Type: {ctype}",
+                f"Content-Length: {len(raw)}",
+                "Connection: close",
+            ]
+            head_lines += [f"{k}: {v}" for k, v in headers.items()]
+            writer.write(
+                ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1") + raw
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary_line(self) -> str:
+        """One-line service tally for CLI output (and CI grepping)."""
+        snap = self.registry.snapshot()
+        parts = [
+            f"service: {int(snap['admitted'])} admitted, "
+            f"{int(snap['done'])} done, {int(snap['failed'])} failed, "
+            f"{int(snap['timeout'])} timeout, "
+            f"{int(snap['cancelled'])} cancelled"
+        ]
+        if snap["dedup_hits"]:
+            parts.append(f"{int(snap['dedup_hits'])} dedup-served")
+        if snap["resumed"]:
+            parts.append(f"{int(snap['resumed'])} resumed from journal")
+        if snap["shed"]:
+            parts.append(f"{int(snap['shed'])} shed (queue full)")
+        if snap["drained"]:
+            parts.append(f"{int(snap['drained'])} checkpointed at drain")
+        return "; ".join(parts)
+
+
+def _row_to_dict(row: JobRow) -> dict[str, Any]:
+    """Journal row -> status-endpoint shape (for jobs evicted from memory)."""
+    try:
+        spec = json.loads(row.spec)
+    except json.JSONDecodeError:
+        spec = {}
+    result = None
+    if row.result:
+        try:
+            result = json.loads(row.result)
+        except json.JSONDecodeError:
+            result = None
+    return {
+        "id": row.id,
+        "kind": row.kind,
+        "state": row.state,
+        "submitted": row.submitted,
+        "updated": row.updated,
+        "attempts": row.attempts,
+        "resumed": bool(row.resumed),
+        "cached": False,
+        "spec": spec,
+        "error": row.error,
+        "result": result,
+    }

@@ -3,6 +3,11 @@
 Both subsystems stamp persisted measurements with the git revision they
 were produced under, so a cached or baseline result can never be
 silently compared against — or served for — a different code version.
+
+The revision is memoised after the first successful read: long-running
+consumers (the leakcheck service constructs one campaign engine per
+job) would otherwise fork a ``git`` subprocess on every task, and the
+revision cannot change under a running process anyway.
 """
 
 from __future__ import annotations
@@ -10,9 +15,14 @@ from __future__ import annotations
 import pathlib
 import subprocess
 
+_cached_rev: str | None = None
 
-def git_rev() -> str:
+
+def git_rev(*, refresh: bool = False) -> str:
     """The repository HEAD revision, or ``"unknown"`` outside a checkout."""
+    global _cached_rev
+    if _cached_rev is not None and not refresh:
+        return _cached_rev
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -21,4 +31,7 @@ def git_rev() -> str:
         )
     except OSError:
         return "unknown"
-    return out.stdout.strip() if out.returncode == 0 else "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    _cached_rev = out.stdout.strip()
+    return _cached_rev

@@ -408,3 +408,248 @@ class TestEngineDegradations:
 
 def always_crash_exception():
     raise RuntimeError("boom")
+
+
+# -- payload codec: special floats and deep nesting ------------------------
+
+
+class TestPayloadEdgeCases:
+    def test_nan_and_signed_infinities_round_trip(self):
+        import math
+
+        value = {
+            "nan": float("nan"),
+            "pinf": float("inf"),
+            "ninf": float("-inf"),
+            "nested": (float("nan"), [float("-inf")]),
+        }
+        out = decode_payload(encode_payload(value))
+        assert math.isnan(out["nan"])
+        assert out["pinf"] == float("inf")
+        assert out["ninf"] == float("-inf")
+        assert math.isnan(out["nested"][0])
+        assert out["nested"][1] == [float("-inf")]
+
+    def test_special_floats_encode_deterministically(self):
+        value = {"b": float("nan"), "a": float("inf")}
+        assert encode_payload(value) == encode_payload(dict(value))
+
+    def test_deeply_nested_dataclasses_round_trip(self):
+        import math
+
+        from repro.analysis.report import FigureResult, Row
+
+        leaf = FigureResult(
+            figure="fig0", title="deep",
+            rows=(Row(label="r", measured=float("nan"), paper="~1",
+                      unit="cycles"),),
+            notes=(),
+        )
+        value: object = leaf
+        for level in range(32):
+            value = {"level": level, "child": (value, [level])}
+        out = decode_payload(encode_payload(value))
+        for level in reversed(range(32)):
+            assert out["level"] == level
+            out = out["child"][0]
+        assert isinstance(out, FigureResult)
+        assert math.isnan(out.rows[0].measured)
+
+
+# -- campaign DB: transient-lock resilience --------------------------------
+
+
+class _FlakyConn:
+    """Wraps a sqlite connection, failing the first N executes as busy."""
+
+    def __init__(self, conn, failures, message="database is locked"):
+        self._conn = conn
+        self.failures = failures
+        self.message = message
+        self.attempts = 0
+
+    def execute(self, sql, *args):
+        self.attempts += 1
+        if self.failures > 0:
+            self.failures -= 1
+            import sqlite3
+
+            raise sqlite3.OperationalError(self.message)
+        return self._conn.execute(sql, *args)
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
+class TestBusyRetry:
+    def test_transient_lock_is_retried_and_succeeds(self, tmp_path, monkeypatch):
+        from repro.campaign import db as db_mod
+
+        monkeypatch.setattr(db_mod, "_BUSY_BACKOFF_S", 0.001)
+        db = CampaignDB(tmp_path / "c.sqlite")
+        flaky = _FlakyConn(db._conn, failures=2)
+        db._conn = flaky
+        db.record_run(config_hash="h", git_rev="r", name="t", seed=None,
+                      status="ok", attempts=1, elapsed=0.1,
+                      payload=encode_payload({"v": 1}))
+        assert flaky.attempts > 2  # retried past the injected failures
+        assert db.lookup("h", "r") is not None
+        db.close()
+
+    def test_persistent_lock_still_raises(self, tmp_path, monkeypatch):
+        import sqlite3
+
+        from repro.campaign import db as db_mod
+
+        monkeypatch.setattr(db_mod, "_BUSY_BACKOFF_S", 0.001)
+        db = CampaignDB(tmp_path / "c.sqlite")
+        db._conn = _FlakyConn(db._conn, failures=10**9)
+        with pytest.raises(sqlite3.OperationalError):
+            db.lookup("h", "r")
+
+    def test_non_busy_operational_errors_are_not_retried(
+        self, tmp_path, monkeypatch
+    ):
+        import sqlite3
+
+        from repro.campaign import db as db_mod
+
+        monkeypatch.setattr(db_mod, "_BUSY_BACKOFF_S", 60.0)  # would hang
+        db = CampaignDB(tmp_path / "c.sqlite")
+        flaky = _FlakyConn(
+            db._conn, failures=1, message="no such table: nope"
+        )
+        db._conn = flaky
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            db.lookup("h", "r")
+        assert flaky.attempts == 1
+
+    def test_busy_timeout_is_validated_and_applied(self, tmp_path):
+        with pytest.raises(ValueError):
+            CampaignDB(tmp_path / "c.sqlite", busy_timeout=-1.0)
+        with CampaignDB(tmp_path / "c.sqlite", busy_timeout=2.5) as db:
+            (timeout_ms,) = db._conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()
+            assert timeout_ms == 2500
+
+    def test_concurrent_connections_do_not_lose_writes(self, tmp_path):
+        db_path = tmp_path / "c.sqlite"
+        writers = [CampaignDB(db_path) for _ in range(4)]
+        for index, db in enumerate(writers):
+            db.record_run(config_hash=f"h{index}", git_rev="r", name="t",
+                          seed=None, status="ok", attempts=1, elapsed=0.1,
+                          payload=encode_payload({"i": index}))
+        with CampaignDB(db_path) as db:
+            assert len(db) == 4
+        for db in writers:
+            db.close()
+
+
+# -- engine: full-jitter backoff and cooperative drain ---------------------
+
+
+class TestRetryJitter:
+    def test_delays_stay_within_the_exponential_envelope(self):
+        engine = CampaignEngine(jobs=1, backoff=0.5, reseed_base=42)
+        for attempt in range(1, 8):
+            delay = engine._retry_delay(attempt)
+            assert 0.0 <= delay <= 0.5 * 2 ** (attempt - 1)
+
+    def test_jitter_is_seeded_and_reproducible(self):
+        first = CampaignEngine(jobs=1, backoff=0.5, reseed_base=42)
+        second = CampaignEngine(jobs=1, backoff=0.5, reseed_base=42)
+        assert ([first._retry_delay(a) for a in range(1, 6)]
+                == [second._retry_delay(a) for a in range(1, 6)])
+
+    def test_jitter_actually_varies(self):
+        engine = CampaignEngine(jobs=1, backoff=0.5, reseed_base=42)
+        samples = {engine._retry_delay(3) for _ in range(16)}
+        assert len(samples) > 1  # full jitter, not a fixed schedule
+
+    def test_zero_backoff_means_zero_delay(self):
+        assert CampaignEngine(jobs=1, backoff=0.0)._retry_delay(5) == 0.0
+
+
+class TestCooperativeDrain:
+    def test_request_stop_drains_serial_campaign(self, tmp_path):
+        engine = CampaignEngine(jobs=1, db=tmp_path / "c.sqlite")
+
+        def stop_after_first(record):
+            engine.request_stop()
+
+        report = engine.run(_tasks([2, 3, 4]), on_record=stop_after_first)
+        assert report.records[0].ok
+        for record in report.records[1:]:
+            assert record.status == "skipped"
+            assert "cancelled" in record.error
+        assert int(engine.registry.counter("cancelled").value) == 2
+        with CampaignDB(tmp_path / "c.sqlite") as db:
+            assert db.counts() == {"ok": 1}  # cancellations are not runs
+
+    def test_request_stop_drains_parallel_campaign(self, tmp_path):
+        engine = CampaignEngine(jobs=2, db=tmp_path / "c.sqlite")
+        engine.request_stop()
+        report = engine.run(_tasks([2, 3, 4]))
+        assert all(r.status == "skipped" for r in report.records)
+        with CampaignDB(tmp_path / "c.sqlite") as db:
+            assert len(db) == 0
+
+
+_SIGINT_SCRIPT = """
+import multiprocessing, sys, time
+from repro.campaign import CampaignEngine, CampaignTask
+
+def slow(i):
+    time.sleep(30)
+    return i
+
+engine = CampaignEngine(jobs=2, db=sys.argv[1])
+tasks = [CampaignTask(name=f"slow_{i}", fn=slow, kwargs={"i": i})
+         for i in range(4)]
+print("campaign-start", flush=True)
+try:
+    engine.run(tasks)
+except KeyboardInterrupt:
+    print(f"orphans={len(multiprocessing.active_children())}", flush=True)
+    sys.exit(130)
+print("not-interrupted", flush=True)
+sys.exit(0)
+"""
+
+
+@pytest.mark.slow
+class TestCoordinatorSignals:
+    def test_sigint_reaps_workers_and_exits_130(self, tmp_path):
+        """Ctrl-C on a parallel campaign must kill the workers, flush the
+        DB, and re-raise — not leak orphan processes or corrupt sqlite."""
+        import subprocess
+        import sys as _sys
+
+        script = tmp_path / "campaign_sigint.py"
+        script.write_text(_SIGINT_SCRIPT)
+        db_path = tmp_path / "c.sqlite"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            pathlib.Path(engine_mod.__file__).resolve().parents[2]
+        )
+        proc = subprocess.Popen(
+            [_sys.executable, str(script), str(db_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env,
+        )
+        try:
+            assert "campaign-start" in proc.stdout.readline()
+            time.sleep(1.0)  # let the workers spawn and pick up tasks
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=60) == 130
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        output = proc.stdout.read()
+        assert "orphans=0" in output
+        assert "not-interrupted" not in output
+        # The DB survived the interrupt: intact schema, no cancelled rows
+        # persisted as runs.
+        with CampaignDB(db_path) as db:
+            assert db.counts().get("ok", 0) == len(db)

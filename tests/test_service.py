@@ -1,0 +1,493 @@
+"""Tests for the fault-tolerant leakcheck service.
+
+Three layers: unit tests on the job model (state machine, spec
+validation), in-process asyncio tests against a real ``LeakcheckService``
+on a loopback port (admission control, dedup, cancel, drain, journal
+resume), and subprocess tests of ``repro serve`` proving the two
+headline guarantees — an accepted job survives ``kill -9`` of the
+server, and SIGTERM/SIGINT drain exits 0 without losing anything.
+"""
+
+import asyncio
+import http.client
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.campaign import CampaignDB
+from repro.service import (
+    CANCELLED,
+    DONE,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobStateError,
+    LeakcheckService,
+    build_job_tasks,
+    format_load_report,
+    http_request,
+    run_load,
+    run_probe,
+)
+
+_SRC = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+
+#: Probe sizes calibrated against the simulator's ~70k accesses/s:
+#: FAST finishes in well under 100 ms, SLOW holds a worker for seconds —
+#: long enough to reliably kill or drain the server mid-job.
+FAST_OPS = 200
+SLOW_OPS = 150_000
+
+
+def _svc(db_path, **kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("concurrency", 1)
+    return LeakcheckService(str(db_path), **kwargs)
+
+
+async def _poll_terminal(host, port, job_id, deadline_s=30.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        status, _, data = await http_request(host, port, "GET", f"/jobs/{job_id}")
+        assert status == 200, data
+        if data["state"] in TERMINAL_STATES:
+            return data
+        await asyncio.sleep(0.03)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+# -- job model -------------------------------------------------------------
+
+
+class TestJobStateMachine:
+    def test_normal_lifecycle(self):
+        job = Job(id="j", kind="probe", spec={})
+        assert job.state == QUEUED and not job.terminal
+        job.advance(RUNNING)
+        job.advance(DONE)
+        assert job.terminal
+
+    def test_terminal_states_are_sticky(self):
+        job = Job(id="j", kind="probe", spec={}, state=DONE)
+        for target in (QUEUED, RUNNING, CANCELLED):
+            with pytest.raises(JobStateError):
+                job.advance(target)
+
+    def test_illegal_transitions_raise(self):
+        job = Job(id="j", kind="probe", spec={})
+        with pytest.raises(JobStateError):
+            job.advance("timeout")  # queued jobs cannot time out
+        with pytest.raises(JobStateError):
+            job.advance("no-such-state")
+
+    def test_queued_can_be_cancelled_or_cache_served(self):
+        for target in (CANCELLED, DONE):
+            job = Job(id="j", kind="probe", spec={})
+            job.advance(target)
+            assert job.terminal
+
+
+class TestJobSpecs:
+    def test_probe_spec_normalises_and_names_deterministically(self):
+        spec, tasks = build_job_tasks("probe", {"ops": 50, "seed": 3})
+        assert spec == {"preset": "sct", "ops": 50, "seed": 3}
+        assert len(tasks) == 1
+        assert tasks[0].name == "probe_sct_o50_s3"
+        repeat, _ = build_job_tasks("probe", {"seed": 3, "ops": 50})
+        assert repeat == spec
+
+    def test_leakcheck_spec_expands_seeds_to_cli_compatible_tasks(self):
+        from repro.leakcheck import run_leakcheck
+
+        _, tasks = build_job_tasks(
+            "leakcheck", {"victim": "rsa", "seed": 5, "seeds": 3}
+        )
+        assert [t.name for t in tasks] == [
+            "leakcheck_rsa_s5", "leakcheck_rsa_s6", "leakcheck_rsa_s7"
+        ]
+        assert all(t.fn is run_leakcheck for t in tasks)
+
+    def test_malformed_specs_are_rejected(self):
+        bad = [
+            ("probe", {"ops": 0}),
+            ("probe", {"ops": "many"}),
+            ("probe", {"ops": True}),
+            ("probe", {"preset": "enigma"}),
+            ("leakcheck", {"victim": "nonexistent"}),
+            ("leakcheck", {"victim": "rsa", "alpha": 2.0}),
+            ("leakcheck", {"victim": "rsa", "seeds": 0}),
+            ("bench", {"scenario": "nope"}),
+            ("mine-bitcoin", {}),
+        ]
+        for kind, spec in bad:
+            with pytest.raises(ValueError):
+                build_job_tasks(kind, spec)
+        with pytest.raises(ValueError):
+            build_job_tasks("probe", "not-a-dict")
+
+    def test_run_probe_is_deterministic_in_simulated_columns(self):
+        first = run_probe(ops=60, seed=9)
+        second = run_probe(ops=60, seed=9)
+        assert first == second
+        assert first["accesses"] == 61
+        assert run_probe(ops=60, seed=10) != first
+
+
+# -- in-process service ----------------------------------------------------
+
+
+class TestServiceHTTP:
+    def test_submit_poll_done_and_dedup(self, tmp_path):
+        async def scenario():
+            service = _svc(tmp_path / "c.sqlite")
+            await service.start()
+            host, port = service.host, service.port
+
+            status, _, health = await http_request(host, port, "GET", "/healthz")
+            assert (status, health["status"]) == (200, "ok")
+            status, _, ready = await http_request(host, port, "GET", "/readyz")
+            assert (status, ready["status"]) == (200, "ready")
+
+            spec = {"kind": "probe", "spec": {"ops": FAST_OPS, "seed": 1}}
+            status, _, job = await http_request(host, port, "POST", "/jobs", spec)
+            assert status == 202 and job["state"] == QUEUED
+            final = await _poll_terminal(host, port, job["id"])
+            assert final["state"] == DONE
+            assert final["result"]["ok"] == 1
+            assert not final["cached"]
+
+            # An identical resubmission is served from the campaign cache
+            # synchronously: 200 (not 202), already done, no execution.
+            status, _, dup = await http_request(host, port, "POST", "/jobs", spec)
+            assert status == 200
+            assert dup["state"] == DONE and dup["cached"]
+            assert dup["id"] != job["id"]
+
+            status, _, text = await http_request(host, port, "GET", "/metrics")
+            assert status == 200
+            assert "repro_service_dedup_hits_total 1" in text
+            assert "repro_service_admitted_total 2" in text
+            await service.close()
+
+        asyncio.run(scenario())
+
+    def test_bad_requests_are_structured_errors(self, tmp_path):
+        async def scenario():
+            service = _svc(tmp_path / "c.sqlite")
+            await service.start()
+            host, port = service.host, service.port
+            status, _, err = await http_request(
+                host, port, "POST", "/jobs", {"kind": "probe", "spec": {"ops": 0}}
+            )
+            assert status == 400 and "ops" in err["error"]
+            status, _, err = await http_request(host, port, "GET", "/jobs/ghost")
+            assert status == 404
+            status, _, err = await http_request(host, port, "PUT", "/jobs")
+            assert status == 405
+            status, _, err = await http_request(host, port, "GET", "/teapot")
+            assert status == 404
+            await service.close()
+
+        asyncio.run(scenario())
+
+    def test_admission_control_sheds_with_429_and_retry_after(self, tmp_path):
+        async def scenario():
+            service = _svc(tmp_path / "c.sqlite", capacity=1)
+            await service.start()
+            host, port = service.host, service.port
+            # Occupy the single worker...
+            _, _, slow = await http_request(
+                host, port, "POST", "/jobs",
+                {"kind": "probe", "spec": {"ops": 40_000, "seed": 1}},
+            )
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                _, _, data = await http_request(
+                    host, port, "GET", f"/jobs/{slow['id']}"
+                )
+                if data["state"] == RUNNING:
+                    break
+                await asyncio.sleep(0.01)
+            assert data["state"] == RUNNING
+            # ...fill the queue to capacity...
+            status, _, queued = await http_request(
+                host, port, "POST", "/jobs",
+                {"kind": "probe", "spec": {"ops": FAST_OPS, "seed": 2}},
+            )
+            assert status == 202
+            # ...and the next submission is shed, not buffered.
+            status, headers, shed = await http_request(
+                host, port, "POST", "/jobs",
+                {"kind": "probe", "spec": {"ops": FAST_OPS, "seed": 3}},
+            )
+            assert status == 429
+            assert int(headers["retry-after"]) >= 1
+            assert shed["capacity"] == 1
+            status, _, text = await http_request(host, port, "GET", "/metrics")
+            assert "repro_service_shed_total 1" in text
+            await _poll_terminal(host, port, queued["id"])
+            await service.close()
+
+        asyncio.run(scenario())
+
+    def test_queued_job_can_be_cancelled(self, tmp_path):
+        async def scenario():
+            service = _svc(tmp_path / "c.sqlite")
+            await service.start()
+            host, port = service.host, service.port
+            _, _, slow = await http_request(
+                host, port, "POST", "/jobs",
+                {"kind": "probe", "spec": {"ops": 40_000, "seed": 1}},
+            )
+            _, _, victim = await http_request(
+                host, port, "POST", "/jobs",
+                {"kind": "probe", "spec": {"ops": FAST_OPS, "seed": 2}},
+            )
+            status, _, cancelled = await http_request(
+                host, port, "DELETE", f"/jobs/{victim['id']}"
+            )
+            assert status == 200 and cancelled["state"] == CANCELLED
+            # Cancelling a terminal job is a conflict, not a state change.
+            status, _, again = await http_request(
+                host, port, "DELETE", f"/jobs/{victim['id']}"
+            )
+            assert status == 409
+            await _poll_terminal(host, port, slow["id"])
+            await service.close()
+            row = CampaignDB(tmp_path / "c.sqlite").journal_get(victim["id"])
+            assert row.state == CANCELLED
+
+        asyncio.run(scenario())
+
+    def test_journal_resume_reruns_pending_jobs(self, tmp_path):
+        db_path = tmp_path / "c.sqlite"
+        # Simulate a crashed server: journalled jobs stuck mid-flight.
+        with CampaignDB(db_path) as db:
+            spec = json.dumps({"preset": "sct", "ops": FAST_OPS, "seed": 7})
+            db.journal_put(job_id="stuck-queued", kind="probe", spec=spec,
+                           state="queued")
+            spec2 = json.dumps({"preset": "sct", "ops": FAST_OPS, "seed": 8})
+            db.journal_put(job_id="stuck-running", kind="probe", spec=spec2,
+                           state="running")
+
+        async def scenario():
+            service = _svc(db_path)
+            await service.start()
+            host, port = service.host, service.port
+            for job_id in ("stuck-queued", "stuck-running"):
+                final = await _poll_terminal(host, port, job_id)
+                assert final["state"] == DONE
+                assert final["resumed"]
+            status, _, text = await http_request(host, port, "GET", "/metrics")
+            assert "repro_service_resumed_total 2" in text
+            await service.close()
+
+        asyncio.run(scenario())
+        with CampaignDB(db_path) as db:
+            assert db.journal_pending() == []
+            assert {row.state for row in db.journal_jobs()} == {DONE}
+
+    def test_drain_checkpoints_queued_jobs_and_stops_admitting(self, tmp_path):
+        db_path = tmp_path / "c.sqlite"
+
+        async def scenario():
+            service = _svc(db_path)
+            await service.start()
+            host, port = service.host, service.port
+            _, _, slow = await http_request(
+                host, port, "POST", "/jobs",
+                {"kind": "probe", "spec": {"ops": 40_000, "seed": 1}},
+            )
+            _, _, queued = await http_request(
+                host, port, "POST", "/jobs",
+                {"kind": "probe", "spec": {"ops": FAST_OPS, "seed": 2}},
+            )
+            service.begin_drain()
+            status, _, ready = await http_request(host, port, "GET", "/readyz")
+            assert status == 503 and ready["status"] == "draining"
+            status, _, _err = await http_request(
+                host, port, "POST", "/jobs",
+                {"kind": "probe", "spec": {"ops": FAST_OPS, "seed": 3}},
+            )
+            assert status == 503
+            await service.wait_closed()
+            snap = service.registry.snapshot()
+            assert snap["drained"] == 1
+            return slow["id"], queued["id"]
+
+        slow_id, queued_id = asyncio.run(scenario())
+        with CampaignDB(db_path) as db:
+            # The running job finished; the queued one was checkpointed
+            # and will be resumed by the next start().
+            assert db.journal_get(slow_id).state == DONE
+            assert db.journal_get(queued_id).state == QUEUED
+            assert [row.id for row in db.journal_pending()] == [queued_id]
+
+    def test_load_generator_drives_all_jobs_to_done(self, tmp_path):
+        async def scenario():
+            service = _svc(tmp_path / "c.sqlite", concurrency=2, capacity=4)
+            await service.start()
+            report = await run_load(
+                service.host, service.port, jobs=6, concurrency=6,
+                spec={"ops": FAST_OPS},
+            )
+            await service.close()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.ok, report.to_dict()
+        assert report.accepted == 6
+        assert report.states == {DONE: 6}
+        assert report.jobs_per_second > 0
+        text = format_load_report(report)
+        assert "verdict            OK" in text
+
+    def test_service_validates_arguments(self, tmp_path):
+        for kwargs in (
+            {"capacity": 0}, {"concurrency": 0}, {"engine_jobs": 0},
+            {"drain_grace": 0.0}, {"job_timeout": 0.0}, {"retries": -1},
+        ):
+            with pytest.raises(ValueError):
+                LeakcheckService(str(tmp_path / "c.sqlite"), **kwargs)
+
+
+# -- bench scenario --------------------------------------------------------
+
+
+class TestServiceBench:
+    def test_service_jobs_scenario_measures_jobs_per_second(self):
+        from repro.perf import bench
+
+        result = bench.run_scenario("service_jobs", seed=1, quick=True)
+        assert result.preset == "service"
+        assert result.accesses == 12  # completed jobs
+        assert result.sim_accesses_per_second > 0
+        assert result.counters["done"] == 12
+        assert result.counters["failed"] == 0
+
+
+# -- subprocess: kill -9 resume and graceful drain -------------------------
+
+
+def _serve_env(db_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC
+    env["REPRO_CAMPAIGN_DB"] = str(db_path)
+    return env
+
+
+def _start_server(db_path, *extra_args):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--concurrency", "1", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_serve_env(db_path),
+    )
+    deadline = time.monotonic() + 30
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            port = int(line.rsplit(":", 1)[1].split()[0])
+            return proc, port
+        if proc.poll() is not None:
+            break
+        time.sleep(0.01)
+    proc.kill()
+    raise AssertionError(f"server never came up: {line!r}")
+
+
+def _http(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    payload = json.dumps(body) if body is not None else None
+    conn.request(method, path, body=payload,
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    raw = response.read().decode()
+    conn.close()
+    ctype = response.headers.get("Content-Type", "")
+    data = json.loads(raw) if ctype.startswith("application/json") else raw
+    return response.status, data
+
+
+def _wait_state(port, job_id, states, deadline_s=60.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        status, data = _http(port, "GET", f"/jobs/{job_id}")
+        assert status == 200, data
+        if data["state"] in states:
+            return data
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never reached {states}")
+
+
+@pytest.mark.slow
+class TestServeProcess:
+    def test_kill_9_loses_no_accepted_job(self, tmp_path):
+        """The headline guarantee: jobs accepted before SIGKILL all reach a
+        terminal state after a restart on the same journal."""
+        db_path = tmp_path / "c.sqlite"
+        server, port = _start_server(db_path)
+        job_ids = []
+        try:
+            status, slow = _http(port, "POST", "/jobs", {
+                "kind": "probe", "spec": {"ops": SLOW_OPS, "seed": 1},
+            })
+            assert status == 202
+            job_ids.append(slow["id"])
+            _wait_state(port, slow["id"], {"running"})
+            for seed in (2, 3):
+                status, job = _http(port, "POST", "/jobs", {
+                    "kind": "probe", "spec": {"ops": FAST_OPS, "seed": seed},
+                })
+                assert status == 202
+                job_ids.append(job["id"])
+        finally:
+            server.kill()  # SIGKILL: no drain, no cleanup
+            server.wait(timeout=30)
+
+        with CampaignDB(db_path) as db:
+            pending = {row.id for row in db.journal_pending()}
+        assert pending == set(job_ids)  # the journal remembers everything
+
+        server, port = _start_server(db_path)
+        try:
+            for job_id in job_ids:
+                final = _wait_state(port, job_id, TERMINAL_STATES)
+                assert final["state"] == "done", final
+                assert final["resumed"]
+            status, metrics = _http(port, "GET", "/metrics")
+            assert "repro_service_resumed_total 3" in metrics
+        finally:
+            server.send_signal(signal.SIGTERM)
+            assert server.wait(timeout=60) == 0
+
+    def test_sigterm_drains_gracefully_with_exit_0(self, tmp_path):
+        db_path = tmp_path / "c.sqlite"
+        server, port = _start_server(db_path)
+        status, slow = _http(port, "POST", "/jobs", {
+            "kind": "probe", "spec": {"ops": SLOW_OPS, "seed": 1},
+        })
+        assert status == 202
+        _wait_state(port, slow["id"], {"running"})
+        status, queued = _http(port, "POST", "/jobs", {
+            "kind": "probe", "spec": {"ops": FAST_OPS, "seed": 2},
+        })
+        assert status == 202
+        server.send_signal(signal.SIGTERM)
+        assert server.wait(timeout=120) == 0
+        output = server.stdout.read()
+        assert "service:" in output  # the drain summary made it out
+        with CampaignDB(db_path) as db:
+            # The in-flight job finished; the queued one was checkpointed,
+            # not lost — exactly what the next start() will resume.
+            assert db.journal_get(slow["id"]).state == "done"
+            assert db.journal_get(queued["id"]).state == "queued"
