@@ -87,6 +87,17 @@ Commands
     hierarchical where-did-the-cycles-go report (conservation-checked).
     ``--collapsed`` exports flamegraph-ready collapsed stacks;
     ``--prom`` exports the counter registry in Prometheus text format.
+
+``synth {generate,run,minimize,corpus,verify}``
+    Attack-synthesis fuzzer (docs/synth.md).  ``generate`` prints seeded
+    random IR programs; ``run`` fans a fuzz batch through the campaign
+    engine against the leakcheck oracle and folds leaking programs into
+    the persistent corpus (``--expect-leaky N`` turns the tally into a
+    CI gate); ``minimize`` delta-debugs corpus finds (or a ``--program``
+    JSON) into minimal witnesses per channel target; ``corpus`` prints
+    per-(component, kind) coverage; ``verify`` re-runs checked-in
+    witness files against the oracle and exits non-zero on any that
+    went stale.
 """
 
 from __future__ import annotations
@@ -101,6 +112,10 @@ from repro.analysis.report import format_result
 #: Default campaign DB location; override per-invocation with
 #: ``--campaign-db`` or globally with ``REPRO_CAMPAIGN_DB``.
 _DEFAULT_CAMPAIGN_DB = ".repro-campaign.sqlite"
+
+#: Default synth corpus location; override per-invocation with
+#: ``--corpus`` or globally with ``REPRO_SYNTH_CORPUS``.
+_DEFAULT_CORPUS = ".repro-corpus.sqlite"
 
 _FIGURE_DOC = {
     "fig6": "Fig. 6  — access-path latency bands (SCT)",
@@ -502,8 +517,16 @@ def _cmd_leakcheck(args: argparse.Namespace) -> int:
     import pathlib as _pathlib
 
     from repro.campaign import CampaignTask
-    from repro.leakcheck import run_leakcheck
+    from repro.leakcheck import list_victims, run_leakcheck
 
+    if args.list:
+        for spec in list_victims():
+            print(f"{spec.name:<10} {spec.description}")
+        return 0
+    if args.victim is None:
+        print("error: --victim is required (or --list to enumerate)",
+              file=sys.stderr)
+        return 2
     seeds = [args.seed + offset for offset in range(args.seeds)]
     tasks = [
         CampaignTask(
@@ -732,6 +755,237 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- synth: attack-synthesis fuzzer (docs/synth.md) -----------------------
+
+
+def _synth_target_choices() -> tuple[str, ...]:
+    from repro.synth import target_names
+
+    return tuple(target_names())
+
+
+def _resolve_corpus(args: argparse.Namespace) -> str:
+    """``--corpus`` > ``REPRO_SYNTH_CORPUS`` > cwd default."""
+    if getattr(args, "corpus", None):
+        return args.corpus
+    return os.environ.get("REPRO_SYNTH_CORPUS") or _DEFAULT_CORPUS
+
+
+def _gen_config(args: argparse.Namespace):
+    import dataclasses
+
+    from repro.synth import GenConfig
+
+    config = GenConfig()
+    overrides: dict[str, object] = {}
+    if getattr(args, "max_ops", None) is not None:
+        overrides["max_ops"] = args.max_ops
+        overrides["min_ops"] = min(config.min_ops, args.max_ops)
+    if getattr(args, "guard_prob", None) is not None:
+        overrides["p_guard"] = args.guard_prob
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config.validate()
+
+
+def _cmd_synth_generate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.synth import format_program, generate_batch, program_to_dict
+
+    batch = generate_batch(args.seed, args.count, _gen_config(args))
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            _json.dumps(
+                [{"gen_seed": gen_seed, "program": program_to_dict(program)}
+                 for gen_seed, program in batch],
+                indent=2, sort_keys=True,
+            ) + "\n"
+        )
+        print(f"wrote {len(batch)} program(s) to {args.json}")
+        return 0
+    for gen_seed, program in batch:
+        print(f"# gen_seed={gen_seed}")
+        print(format_program(program))
+        print()
+    return 0
+
+
+def _cmd_synth_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.synth import Corpus, run_fuzz
+
+    engine = _campaign_engine(args, reseed_base=args.seed)
+    corpus = Corpus(_resolve_corpus(args))
+    try:
+        report = run_fuzz(
+            preset=args.preset,
+            defense=args.defense,
+            budget=args.budget,
+            seed=args.seed,
+            alpha=args.alpha,
+            gen=_gen_config(args),
+            engine=engine,
+            corpus=corpus,
+        )
+    finally:
+        corpus.close()
+    for line in report.summary_lines():
+        print(line)
+    print(engine.summary_line())
+    for error in report.errors:
+        print(f"!! {error}", file=sys.stderr)
+    if args.json:
+        doc = {
+            "preset": report.preset,
+            "defense": report.defense,
+            "seed": report.seed,
+            "budget": report.budget,
+            "evaluated": report.evaluated,
+            "failed": report.failed,
+            "leaky": report.leaky,
+            "metadata_leaky": report.metadata_leaky,
+            "new_in_corpus": report.new_in_corpus,
+            "coverage": dict(sorted(report.coverage.items())),
+        }
+        pathlib.Path(args.json).write_text(
+            _json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote fuzz report to {args.json}")
+    if report.failed:
+        return 1
+    if args.expect_leaky is not None and report.leaky < args.expect_leaky:
+        print(
+            f"FAIL: found {report.leaky} leaking program(s), "
+            f"expected at least {args.expect_leaky}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_synth_minimize(args: argparse.Namespace) -> int:
+    from repro.synth import (
+        Corpus,
+        MinimizationError,
+        format_program,
+        minimize_program,
+        program_from_json,
+        write_witness,
+    )
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    targets = args.target or ["metaleak_t", "metaleak_c"]
+
+    candidates: dict[str, object] = {}
+    if args.program:
+        program = program_from_json(pathlib.Path(args.program).read_text())
+        for target in targets:
+            candidates[target] = program
+    else:
+        from repro.synth import resolve_target
+
+        corpus = Corpus(_resolve_corpus(args))
+        try:
+            for target in targets:
+                entry = corpus.best_for(
+                    resolve_target(target),
+                    preset=args.preset, defense=args.defense,
+                )
+                if entry is not None:
+                    candidates[target] = entry.program
+        finally:
+            corpus.close()
+
+    status = 0
+    for target in targets:
+        program = candidates.get(target)
+        if program is None:
+            print(
+                f"!! {target}: no corpus program hits this target on "
+                f"preset={args.preset} defense={args.defense}; "
+                f"run 'repro synth run' first",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        try:
+            result = minimize_program(
+                program,  # type: ignore[arg-type]
+                target=target,
+                preset=args.preset,
+                defense=args.defense,
+                alpha=args.alpha,
+                max_oracle_calls=args.max_oracle_calls,
+                progress=lambda line, t=target: print(f"[{t}] {line}"),
+            )
+        except MinimizationError as error:
+            print(f"!! {target}: {error}", file=sys.stderr)
+            status = 1
+            continue
+        path = write_witness(result, out_dir / f"witness_{target}.json")
+        print(f"[{target}] witness: {result.initial_ops} -> "
+              f"{result.final_ops} op(s), {result.oracle_calls} oracle "
+              f"calls -> {path}")
+        print(format_program(result.witness))
+    return status
+
+
+def _cmd_synth_corpus(args: argparse.Namespace) -> int:
+    from repro.synth import Corpus
+
+    path = _resolve_corpus(args)
+    if not os.path.exists(path):
+        print(f"error: no corpus at {path}; run 'repro synth run' first",
+              file=sys.stderr)
+        return 2
+    with Corpus(path) as corpus:
+        for line in corpus.summary_lines():
+            print(line)
+        if args.programs:
+            for entry in corpus.entries(
+                preset=args.preset, defense=args.defense
+            ):
+                channels = ", ".join(f"{c}/{k}" for c, k in entry.channels)
+                print(
+                    f"  {entry.key[:12]}  {entry.preset}/{entry.defense} "
+                    f"gen_seed={entry.gen_seed} ops={entry.ops} "
+                    f"[{channels}]"
+                )
+    return 0
+
+
+def _cmd_synth_verify(args: argparse.Namespace) -> int:
+    from repro.synth import MinimizationError, load_witness
+
+    status = 0
+    for path in args.witnesses:
+        try:
+            witness = load_witness(path)
+            result = witness.verify(alpha=args.alpha)
+        except (MinimizationError, ValueError, OSError) as error:
+            print(f"FAIL {path}: {error}", file=sys.stderr)
+            status = 1
+            continue
+        channels = ", ".join(f"{c}/{k}" for c, k in result.channels[:6])
+        print(f"ok   {path}: target={witness.target} "
+              f"preset={witness.preset} still leaks [{channels}]")
+    return status
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    handler = {
+        "generate": _cmd_synth_generate,
+        "run": _cmd_synth_run,
+        "minimize": _cmd_synth_minimize,
+        "corpus": _cmd_synth_corpus,
+        "verify": _cmd_synth_verify,
+    }[args.synth_command]
+    return handler(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.config import preset_names
 
@@ -838,7 +1092,11 @@ def build_parser() -> argparse.ArgumentParser:
     leakcheck = commands.add_parser(
         "leakcheck", help="automated paired-secret leakage detection"
     )
-    leakcheck.add_argument("--victim", choices=victim_names(), required=True)
+    leakcheck.add_argument("--victim", choices=victim_names(), default=None)
+    leakcheck.add_argument(
+        "--list", action="store_true",
+        help="list registered victims with descriptions and exit",
+    )
     leakcheck.add_argument("--seed", type=int, default=0)
     leakcheck.add_argument(
         "--seeds", type=_positive_int, default=1, metavar="N",
@@ -960,7 +1218,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="client-side concurrent submissions (default 8)",
     )
     service_load.add_argument(
-        "--kind", choices=["probe", "leakcheck", "bench"], default="probe",
+        "--kind", choices=["probe", "leakcheck", "bench", "synth"],
+        default="probe",
         help="job kind to submit (default probe)",
     )
     service_load.add_argument(
@@ -982,6 +1241,143 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the load report as JSON",
     )
     service_load.set_defaults(func=_cmd_service_load)
+
+    synth = commands.add_parser(
+        "synth",
+        help="attack-synthesis fuzzer with witness minimization",
+    )
+    synth_commands = synth.add_subparsers(
+        dest="synth_command", required=True
+    )
+
+    def _synth_gen_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--max-ops", type=_positive_int, default=None, metavar="N",
+            help="cap generated program length (default: generator default)",
+        )
+        sub.add_argument(
+            "--guard-prob", type=float, default=None, metavar="P",
+            help="probability an op is secret-guarded "
+            "(default: generator default)",
+        )
+
+    def _synth_machine_options(sub: argparse.ArgumentParser) -> None:
+        from repro.synth import DEFENSES
+
+        sub.add_argument(
+            "--preset", choices=preset_names(), default="sct",
+            help="machine preset the oracle runs on (default sct)",
+        )
+        sub.add_argument(
+            "--defense", choices=DEFENSES, default="none",
+            help="defence overlay applied to the preset (default none)",
+        )
+        sub.add_argument(
+            "--alpha", type=float, default=0.01,
+            help="significance level for the per-kind KS tests",
+        )
+
+    def _synth_corpus_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--corpus", default=None, metavar="FILE",
+            help="corpus sqlite path (default: env REPRO_SYNTH_CORPUS, "
+            f"else {_DEFAULT_CORPUS})",
+        )
+
+    synth_generate = synth_commands.add_parser(
+        "generate", help="emit seeded random programs (no oracle runs)"
+    )
+    synth_generate.add_argument("--seed", type=int, default=0)
+    synth_generate.add_argument(
+        "--count", type=_positive_int, default=1, metavar="N",
+        help="programs to generate (default 1)",
+    )
+    _synth_gen_options(synth_generate)
+    synth_generate.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the batch as JSON instead of printing listings",
+    )
+    synth_generate.set_defaults(func=_cmd_synth)
+
+    synth_run = synth_commands.add_parser(
+        "run", help="fuzz: fan generated programs through the leak oracle"
+    )
+    synth_run.add_argument("--seed", type=int, default=0)
+    synth_run.add_argument(
+        "--budget", type=_positive_int, default=64, metavar="N",
+        help="programs to generate and evaluate (default 64)",
+    )
+    _synth_machine_options(synth_run)
+    _synth_gen_options(synth_run)
+    _synth_corpus_option(synth_run)
+    synth_run.add_argument(
+        "--expect-leaky", type=int, default=None, metavar="N",
+        help="exit non-zero unless at least N leaking programs were found "
+        "(CI gating)",
+    )
+    synth_run.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the fuzz report as JSON",
+    )
+    _add_campaign_options(synth_run)
+    synth_run.set_defaults(func=_cmd_synth)
+
+    synth_minimize = synth_commands.add_parser(
+        "minimize",
+        help="delta-debug corpus finds into minimal witness files",
+    )
+    synth_minimize.add_argument(
+        "--target", action="append", default=None,
+        choices=_synth_target_choices(),
+        help="channel family to witness; repeatable "
+        "(default: metaleak_t and metaleak_c)",
+    )
+    _synth_machine_options(synth_minimize)
+    _synth_corpus_option(synth_minimize)
+    synth_minimize.add_argument(
+        "--program", metavar="FILE", default=None,
+        help="minimize this program JSON instead of picking from the corpus",
+    )
+    synth_minimize.add_argument(
+        "--out", default="witnesses", metavar="DIR",
+        help="directory for witness_<target>.json files (default witnesses)",
+    )
+    synth_minimize.add_argument(
+        "--max-oracle-calls", type=_positive_int, default=400, metavar="N",
+        help="oracle budget per target (default 400)",
+    )
+    synth_minimize.set_defaults(func=_cmd_synth)
+
+    synth_corpus = synth_commands.add_parser(
+        "corpus", help="summarize the persistent corpus of leaking programs"
+    )
+    _synth_corpus_option(synth_corpus)
+    synth_corpus.add_argument(
+        "--preset", choices=preset_names(), default=None,
+        help="only entries found on this preset",
+    )
+    synth_corpus.add_argument(
+        "--defense", default=None,
+        help="only entries found under this defence",
+    )
+    synth_corpus.add_argument(
+        "--programs", action="store_true",
+        help="also list individual corpus entries",
+    )
+    synth_corpus.set_defaults(func=_cmd_synth)
+
+    synth_verify = synth_commands.add_parser(
+        "verify", help="re-run checked-in witnesses against the oracle"
+    )
+    synth_verify.add_argument(
+        "witnesses", nargs="+", metavar="WITNESS",
+        help="witness JSON files to re-verify",
+    )
+    synth_verify.add_argument(
+        "--alpha", type=float, default=0.01,
+        help="significance level for the per-kind KS tests",
+    )
+    synth_verify.set_defaults(func=_cmd_synth)
 
     profile = commands.add_parser(
         "profile", help="cycle-attribution profile of one victim run"

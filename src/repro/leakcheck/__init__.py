@@ -5,6 +5,7 @@ from repro.leakcheck.victims import (
     VICTIMS,
     VictimSpec,
     get_victim,
+    list_victims,
     victim_names,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "VICTIMS",
     "VictimSpec",
     "get_victim",
+    "list_victims",
     "victim_names",
 ]

@@ -219,6 +219,11 @@ def victim_names() -> list[str]:
     return sorted(VICTIMS)
 
 
+def list_victims() -> list[VictimSpec]:
+    """Every registered victim, sorted by name (CLI/service enumeration)."""
+    return [VICTIMS[name] for name in victim_names()]
+
+
 def get_victim(name: str) -> VictimSpec:
     spec = VICTIMS.get(name)
     if spec is None:

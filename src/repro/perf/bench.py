@@ -202,6 +202,39 @@ def _service_jobs(seed: int, quick: bool) -> RawMeasure:
     )
 
 
+_SYNTH_PROGRAMS = 48
+_SYNTH_PROGRAMS_QUICK = 12
+
+
+def _synth_throughput(seed: int, quick: bool) -> RawMeasure:
+    """Sustained fuzzed programs/sec through the synthesis oracle.
+
+    Generates a fixed batch of programs and pushes them through the full
+    fuzz path (in-thread engine, caching disabled so every program pays
+    its two paired-secret runs); ``accesses`` is evaluated programs, so
+    the compared figure is oracle evaluations per second.
+    """
+    from repro.campaign import CampaignEngine
+    from repro.synth import run_fuzz
+
+    budget = _SYNTH_PROGRAMS_QUICK if quick else _SYNTH_PROGRAMS
+    engine = CampaignEngine(jobs=1, db=None, use_cache=False)
+    report = run_fuzz(
+        preset="sct", defense="none", budget=budget, seed=seed,
+        engine=engine,
+    )
+    if report.failed:
+        raise RuntimeError(
+            f"synth bench had {report.failed} failed evaluation(s): "
+            f"{report.errors[:3]}"
+        )
+    return RawMeasure(
+        simulated_cycles=0,
+        accesses=report.evaluated,
+        counters=engine.registry.snapshot(),
+    )
+
+
 _Runner = Callable[[int, bool], "tuple[SecureProcessor, int] | RawMeasure"]
 
 SCENARIOS: dict[str, tuple[str, _Runner]] = {
@@ -211,6 +244,7 @@ SCENARIOS: dict[str, tuple[str, _Runner]] = {
     "victim_rsa": ("sct", _victim_rsa),
     "covert_t": ("sct", _covert_t),
     "service_jobs": ("service", _service_jobs),
+    "synth_throughput": ("synth", _synth_throughput),
 }
 
 

@@ -1,7 +1,8 @@
 """Service job model: state machine, specs, and campaign-task mapping.
 
 A *job* is what the HTTP server accepts: a kind (``probe``,
-``leakcheck``, ``bench``), a JSON spec, and a server-assigned id.  A job
+``leakcheck``, ``bench``, ``synth``), a JSON spec, and a
+server-assigned id.  A job
 expands into one or more :class:`~repro.campaign.CampaignTask` — the
 unit the campaign engine executes, retries, and caches — via
 :func:`build_job_tasks`; the task names and kwargs match what the CLI
@@ -267,13 +268,54 @@ def build_job_tasks(
         )
         return normalized, [task]
 
+    if kind == "synth":
+        from repro.config import preset_names
+        from repro.synth import DEFENSES, GenConfig, generate_batch
+        from repro.synth.fuzz import task_name
+        from repro.synth.runner import evaluate_program
+
+        preset = spec.get("preset", "sct")
+        if preset not in preset_names():
+            raise ValueError(
+                f"unknown preset {preset!r}; choose from {list(preset_names())}"
+            )
+        defense = spec.get("defense", "none")
+        if defense not in DEFENSES:
+            raise ValueError(
+                f"unknown defense {defense!r}; choose from {list(DEFENSES)}"
+            )
+        seed = _require_int(spec, "seed", 0)
+        budget = _require_int(spec, "budget", 16, lo=1, hi=256)
+        alpha = spec.get("alpha", 0.01)
+        if isinstance(alpha, bool) or not isinstance(alpha, (int, float)):
+            raise ValueError(f"spec['alpha'] must be a number, got {alpha!r}")
+        if not 0 < alpha < 1:
+            raise ValueError(f"spec['alpha'] must be in (0, 1), got {alpha}")
+        normalized = {
+            "preset": preset, "defense": defense, "seed": seed,
+            "budget": budget, "alpha": float(alpha),
+        }
+        tasks = [
+            CampaignTask(
+                name=task_name(preset, defense, gen_seed),
+                fn=evaluate_program,
+                kwargs={
+                    "program": program, "preset": preset, "defense": defense,
+                    "alpha": float(alpha), "gen_seed": gen_seed,
+                },
+            )
+            for gen_seed, program in generate_batch(seed, budget, GenConfig())
+        ]
+        return normalized, tasks
+
     raise ValueError(
-        f"unknown job kind {kind!r}; choose from ['probe', 'leakcheck', 'bench']"
+        f"unknown job kind {kind!r}; "
+        f"choose from ['probe', 'leakcheck', 'bench', 'synth']"
     )
 
 
 def job_kinds() -> list[str]:
-    return ["probe", "leakcheck", "bench"]
+    return ["probe", "leakcheck", "bench", "synth"]
 
 
 # -- outcome summarisation -------------------------------------------------

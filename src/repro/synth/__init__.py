@@ -1,0 +1,89 @@
+"""Attack-synthesis fuzzer with witness minimization (``repro.synth``).
+
+AMuLeT-style automated leak discovery on top of the existing stack: a
+seeded generator emits random attacker/victim access-pattern programs
+in a small declarative IR, the campaign engine fans them out to the
+``repro.leakcheck`` paired-secret oracle at scale, leaking programs
+accumulate in a persistent corpus with per-(component, kind) channel
+coverage, and a delta-debugging minimizer reduces any find to a small
+machine-checkable witness.  See docs/synth.md.
+"""
+
+from repro.synth.corpus import Corpus, CorpusEntry, corpus_key
+from repro.synth.fuzz import FuzzReport, build_fuzz_tasks, run_fuzz, task_name
+from repro.synth.gen import GenConfig, generate_batch, generate_program
+from repro.synth.ir import (
+    Guard,
+    Op,
+    OpKind,
+    Program,
+    ProgramError,
+    format_program,
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+    strip_guards,
+    validate_program,
+)
+from repro.synth.minimize import (
+    MinimizationError,
+    MinimizeResult,
+    Witness,
+    load_witness,
+    minimize_program,
+    witness_to_dict,
+    write_witness,
+)
+from repro.synth.runner import (
+    DEFENSES,
+    METADATA_COMPONENTS,
+    TARGETS,
+    SynthResult,
+    compile_program,
+    evaluate_program,
+    resolve_target,
+    synth_config,
+    target_names,
+)
+
+__all__ = [
+    "DEFENSES",
+    "METADATA_COMPONENTS",
+    "TARGETS",
+    "Corpus",
+    "CorpusEntry",
+    "FuzzReport",
+    "GenConfig",
+    "Guard",
+    "MinimizationError",
+    "MinimizeResult",
+    "Op",
+    "OpKind",
+    "Program",
+    "ProgramError",
+    "SynthResult",
+    "Witness",
+    "build_fuzz_tasks",
+    "compile_program",
+    "corpus_key",
+    "evaluate_program",
+    "format_program",
+    "generate_batch",
+    "generate_program",
+    "load_witness",
+    "minimize_program",
+    "program_from_dict",
+    "program_from_json",
+    "program_to_dict",
+    "program_to_json",
+    "resolve_target",
+    "run_fuzz",
+    "strip_guards",
+    "synth_config",
+    "target_names",
+    "task_name",
+    "validate_program",
+    "witness_to_dict",
+    "write_witness",
+]

@@ -1,0 +1,227 @@
+"""Persistent corpus of leaking programs (sqlite, WAL).
+
+The corpus is the fuzzer's long-term memory: every leaking program a
+fuzz batch discovers is upserted here with its flagged channels, so
+
+* coverage accumulates across batches, machines, and service jobs —
+  the per-(component, kind) stats answer "which metadata channels have
+  we synthesized an attack for, and on which preset/defense?";
+* the minimizer has a pool to pick witnesses from (smallest program
+  hitting a target first);
+* CI can upload the corpus DB as an artifact and diff coverage between
+  revisions.
+
+Rows are keyed by the program's canonical JSON hashed together with the
+machine (preset/defense), so re-discovering the same program is an
+upsert, not a duplicate.  Like the campaign DB, writes favour
+durability over throughput: one transaction per upsert, WAL mode.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+
+from repro.synth.ir import Program, program_from_json, program_to_json
+from repro.synth.runner import SynthResult
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS programs (
+    key TEXT PRIMARY KEY,
+    preset TEXT NOT NULL,
+    defense TEXT NOT NULL,
+    gen_seed INTEGER NOT NULL,
+    ops INTEGER NOT NULL,
+    metadata_leaky INTEGER NOT NULL,
+    channels TEXT NOT NULL,
+    program TEXT NOT NULL,
+    created REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_programs_machine
+    ON programs (preset, defense);
+"""
+
+
+def corpus_key(program: Program, preset: str, defense: str) -> str:
+    """Stable identity of (program content, machine)."""
+    material = "\x1f".join((program_to_json(program), preset, defense))
+    return hashlib.blake2b(material.encode(), digest_size=16).hexdigest()
+
+
+class CorpusEntry:
+    """One stored leaking program (decoded row)."""
+
+    __slots__ = ("key", "preset", "defense", "gen_seed", "ops",
+                 "metadata_leaky", "channels", "program", "created")
+
+    def __init__(self, row: sqlite3.Row) -> None:
+        self.key: str = row["key"]
+        self.preset: str = row["preset"]
+        self.defense: str = row["defense"]
+        self.gen_seed: int = row["gen_seed"]
+        self.ops: int = row["ops"]
+        self.metadata_leaky: bool = bool(row["metadata_leaky"])
+        self.channels: tuple[tuple[str, str], ...] = tuple(
+            (str(c), str(k)) for c, k in json.loads(row["channels"])
+        )
+        self.program: Program = program_from_json(row["program"])
+        self.created: float = row["created"]
+
+    def hits(self, components: frozenset[str]) -> bool:
+        if not components:
+            return True
+        return any(c in components for c, _ in self.channels)
+
+
+class Corpus:
+    """Sqlite-backed store of leaking programs and evaluation tallies."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA busy_timeout=5000")
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)),
+        )
+        self._conn.commit()
+
+    # -- writes ------------------------------------------------------------
+
+    def add(self, result: SynthResult) -> bool:
+        """Record one leaking result; returns True if the row was new.
+
+        Non-leaking results only bump the evaluation tally — the corpus
+        stores attacks, not the whole search history.
+        """
+        self._bump("evaluated_total")
+        if not result.leaky:
+            return False
+        key = corpus_key(result.program, result.preset, result.defense)
+        existed = self._conn.execute(
+            "SELECT 1 FROM programs WHERE key = ?", (key,)
+        ).fetchone()
+        self._conn.execute(
+            "INSERT OR REPLACE INTO programs "
+            "(key, preset, defense, gen_seed, ops, metadata_leaky, "
+            " channels, program, created) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                result.preset,
+                result.defense,
+                result.gen_seed,
+                len(result.program.ops),
+                int(result.metadata_leaky),
+                json.dumps([list(pair) for pair in result.channels]),
+                program_to_json(result.program),
+                time.time(),
+            ),
+        )
+        self._conn.commit()
+        return existed is None
+
+    def _bump(self, key: str, by: int = 1) -> None:
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET "
+            "value = CAST(CAST(value AS INTEGER) + excluded.value AS TEXT)",
+            (key, str(by)),
+        )
+        self._conn.commit()
+
+    # -- reads -------------------------------------------------------------
+
+    @property
+    def evaluated_total(self) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'evaluated_total'"
+        ).fetchone()
+        return int(row["value"]) if row is not None else 0
+
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) AS n FROM programs").fetchone()
+        return int(row["n"])
+
+    def entries(
+        self,
+        *,
+        preset: str | None = None,
+        defense: str | None = None,
+    ) -> list[CorpusEntry]:
+        """All stored programs, smallest first (minimizer-friendly)."""
+        sql = "SELECT * FROM programs"
+        clauses, params = [], []
+        if preset is not None:
+            clauses.append("preset = ?")
+            params.append(preset)
+        if defense is not None:
+            clauses.append("defense = ?")
+            params.append(defense)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY ops ASC, created ASC"
+        return [CorpusEntry(row)
+                for row in self._conn.execute(sql, tuple(params))]
+
+    def best_for(
+        self,
+        components: frozenset[str],
+        *,
+        preset: str | None = None,
+        defense: str | None = None,
+    ) -> CorpusEntry | None:
+        """Smallest stored program whose channels hit ``components``."""
+        for entry in self.entries(preset=preset, defense=defense):
+            if entry.hits(components):
+                return entry
+        return None
+
+    def coverage(
+        self,
+        *,
+        preset: str | None = None,
+        defense: str | None = None,
+    ) -> dict[tuple[str, str], int]:
+        """Programs per flagged (component, kind) channel."""
+        tally: dict[tuple[str, str], int] = {}
+        for entry in self.entries(preset=preset, defense=defense):
+            for channel in entry.channels:
+                tally[channel] = tally.get(channel, 0) + 1
+        return tally
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"corpus: {len(self)} leaking program(s) from "
+            f"{self.evaluated_total} evaluated ({self.path})"
+        ]
+        coverage = self.coverage()
+        for (component, kind) in sorted(coverage):
+            lines.append(
+                f"  {component:<10} {kind:<18} {coverage[(component, kind)]:>4}"
+            )
+        return lines
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Corpus":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -306,3 +306,120 @@ class TestCampaignOptions:
         prom = (tmp_path / "campaign_metrics.prom").read_text()
         assert "repro_campaign_tasks_total 1" in prom
         assert "repro_campaign_workers_crashed_total" in prom
+
+
+class TestLeakcheckList:
+    def test_list_enumerates_victims(self, capsys):
+        assert main(["leakcheck", "--list"]) == 0
+        out = capsys.readouterr().out
+        from repro.leakcheck import list_victims
+
+        for spec in list_victims():
+            assert spec.name in out
+
+    def test_victim_required_without_list(self, capsys):
+        assert main(["leakcheck"]) == 2
+        assert "--victim is required" in capsys.readouterr().err
+
+
+class TestSynthCommands:
+    def test_generate_is_deterministic(self, capsys):
+        assert main(["synth", "generate", "--seed", "5", "--count", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["synth", "generate", "--seed", "5", "--count", "2"]) == 0
+        assert capsys.readouterr().out == first
+        assert "gen_seed=5" in first and "gen_seed=6" in first
+
+    def test_generate_json(self, capsys, tmp_path):
+        out = tmp_path / "batch.json"
+        assert main(["synth", "generate", "--count", "3",
+                     "--json", str(out)]) == 0
+        import json
+
+        batch = json.loads(out.read_text())
+        assert len(batch) == 3
+        assert all("program" in item for item in batch)
+
+    def test_run_minimize_corpus_verify_pipeline(self, capsys, tmp_path):
+        corpus = str(tmp_path / "corpus.sqlite")
+        assert main([
+            "synth", "run", "--seed", "0", "--budget", "4",
+            "--max-ops", "8", "--corpus", corpus, "--expect-leaky", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "synth: preset=sct" in out
+        assert "target metaleak_t" in out
+
+        assert main(["synth", "corpus", "--corpus", corpus]) == 0
+        assert "leaking program(s)" in capsys.readouterr().out
+
+        witness_dir = tmp_path / "w"
+        assert main([
+            "synth", "minimize", "--corpus", corpus,
+            "--target", "metadata", "--out", str(witness_dir),
+        ]) == 0
+        witness = witness_dir / "witness_metadata.json"
+        assert witness.exists()
+        capsys.readouterr()
+
+        assert main(["synth", "verify", str(witness)]) == 0
+        assert "still leaks" in capsys.readouterr().out
+
+    def test_expect_leaky_gate_fails_loudly(self, capsys, tmp_path):
+        corpus = str(tmp_path / "corpus.sqlite")
+        assert main([
+            "synth", "run", "--seed", "0", "--budget", "1",
+            "--max-ops", "8", "--corpus", corpus,
+            "--expect-leaky", "999",
+        ]) == 1
+        assert "expected at least 999" in capsys.readouterr().err
+
+    def test_minimize_without_corpus_hit_fails(self, capsys, tmp_path):
+        corpus = str(tmp_path / "empty.sqlite")
+        from repro.synth import Corpus
+
+        Corpus(corpus).close()
+        assert main([
+            "synth", "minimize", "--corpus", corpus,
+            "--out", str(tmp_path / "w"),
+        ]) == 1
+        assert "no corpus program hits" in capsys.readouterr().err
+
+    def test_corpus_missing_file_errors(self, capsys, tmp_path):
+        assert main(["synth", "corpus", "--corpus",
+                     str(tmp_path / "nope.sqlite")]) == 2
+        assert "no corpus" in capsys.readouterr().err
+
+    def test_verify_checked_in_witnesses(self, capsys):
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        paths = [str(repo / "witnesses" / f"witness_metaleak_{x}.json")
+                 for x in ("t", "c")]
+        assert main(["synth", "verify", *paths]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok ") == 2
+
+    def test_verify_rejects_stale_witness(self, capsys, tmp_path):
+        import json
+
+        from repro.synth import (
+            Guard, Op, OpKind, Program, minimize_program, witness_to_dict,
+        )
+
+        result = minimize_program(
+            Program(pages=2, ops=(
+                Op(kind=OpKind.READ, count=4),
+                Op(kind=OpKind.WRITE, guard=Guard.IF_ONE,
+                   page=1, count=8, stride=2),
+            )),
+            target="metadata",
+        )
+        doc = witness_to_dict(result)
+        # Corrupt the program into its unguarded (clean) skeleton.
+        for op in doc["program"]["ops"]:
+            op["guard"] = "always"
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps(doc))
+        assert main(["synth", "verify", str(stale)]) == 1
+        assert "no longer leaks" in capsys.readouterr().err

@@ -210,6 +210,14 @@ class TestBench:
         with pytest.raises(ValueError):
             run_scenario("nope")
 
+    def test_synth_throughput_counts_oracle_evaluations(self):
+        result = run_scenario("synth_throughput", seed=3, quick=True)
+        assert result.preset == "synth"
+        # Every generated program was evaluated; quick mode runs 12.
+        assert result.accesses == 12
+        assert result.counters["executed"] == 12
+        assert result.sim_accesses_per_second > 0
+
     def test_result_round_trip(self, tmp_path):
         result = run_scenario("steady_sct", seed=1, quick=True)
         path = write_result(result, tmp_path)

@@ -491,3 +491,32 @@ class TestServeProcess:
             # not lost — exactly what the next start() will resume.
             assert db.journal_get(slow["id"]).state == "done"
             assert db.journal_get(queued["id"]).state == "queued"
+
+
+class TestServiceSynthJob:
+    def test_synth_job_runs_and_dedups(self, tmp_path):
+        async def scenario():
+            service = _svc(tmp_path / "c.sqlite")
+            await service.start()
+            host, port = service.host, service.port
+
+            spec = {"kind": "synth", "spec": {"budget": 3, "seed": 0}}
+            status, _, job = await http_request(host, port, "POST", "/jobs", spec)
+            assert status == 202
+            final = await _poll_terminal(host, port, job["id"])
+            assert final["state"] == DONE
+            assert final["result"]["ok"] == 3
+            # Task results round-trip the payload codec (Program/SynthResult
+            # are repro dataclasses), so the per-task verdicts are visible.
+            names = [task["name"] for task in final["result"]["tasks"]]
+            assert names == [
+                "synth_sct_none_g0", "synth_sct_none_g1", "synth_sct_none_g2",
+            ]
+
+            # Identical resubmission: all three tasks cache-hit.
+            status, _, dup = await http_request(host, port, "POST", "/jobs", spec)
+            assert status == 200
+            assert dup["state"] == DONE and dup["cached"]
+            await service.close()
+
+        asyncio.run(scenario())
