@@ -26,6 +26,7 @@ crash.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import sqlite3
 import time
@@ -34,7 +35,7 @@ from typing import Any, Callable
 
 from repro.campaign.payload import PayloadError, encode_payload
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Transient-lock retry policy: attempts beyond the first, and the base
 #: of the exponential sleep between them.  Combined with sqlite's own
@@ -73,9 +74,23 @@ CREATE TABLE IF NOT EXISTS jobs (
     attempts INTEGER NOT NULL DEFAULT 0,
     resumed INTEGER NOT NULL DEFAULT 0,
     error TEXT NOT NULL DEFAULT '',
-    result TEXT
+    result TEXT,
+    trace TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state);
+CREATE TABLE IF NOT EXISTS spans (
+    span_id TEXT PRIMARY KEY,
+    trace_id TEXT NOT NULL,
+    parent_id TEXT,
+    name TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    start REAL NOT NULL,
+    end REAL NOT NULL,
+    outcome TEXT NOT NULL,
+    pid INTEGER NOT NULL DEFAULT 0,
+    attrs TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS idx_spans_trace ON spans (trace_id, start);
 """
 
 
@@ -135,11 +150,12 @@ class JobRow:
     resumed: int
     error: str
     result: str | None
+    trace: str = ""
 
 
 _JOB_COLUMNS = (
     "id, kind, spec, state, submitted, updated, attempts, resumed,"
-    " error, result"
+    " error, result, trace"
 )
 
 
@@ -175,11 +191,27 @@ class CampaignDB:
         # treats the same as jobs that never arrived.
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
+        self._migrate()
         self._execute(
-            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
             ("schema_version", str(SCHEMA_VERSION)),
         )
         self._commit()
+
+    def _migrate(self) -> None:
+        """Bring a pre-v3 DB up to date in place.
+
+        v3 added ``jobs.trace`` (the fleet-tracing trace id a resumed
+        job must keep) and the ``spans`` table; ``executescript`` above
+        already created the latter via ``IF NOT EXISTS``.
+        """
+        columns = {
+            row[1] for row in self._execute("PRAGMA table_info(jobs)")
+        }
+        if "trace" not in columns:
+            self._execute(
+                "ALTER TABLE jobs ADD COLUMN trace TEXT NOT NULL DEFAULT ''"
+            )
 
     # -- busy-retry plumbing ----------------------------------------------
 
@@ -276,13 +308,15 @@ class CampaignDB:
         resumed: int = 0,
         error: str = "",
         result: str | None = None,
+        trace: str = "",
     ) -> None:
         """Journal a newly accepted job *before* acknowledging it."""
         now = time.time()
         self._execute(
             f"INSERT INTO jobs ({_JOB_COLUMNS})"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (job_id, kind, spec, state, now, now, 0, resumed, error, result),
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (job_id, kind, spec, state, now, now, 0, resumed, error, result,
+             trace),
         )
         self._commit()
 
@@ -295,13 +329,14 @@ class CampaignDB:
         resumed: int | None = None,
         error: str | None = None,
         result: str | None = None,
+        trace: str | None = None,
     ) -> None:
         """Commit one job state transition (and optional outcome fields)."""
         sets = ["state = ?", "updated = ?"]
         params: list[Any] = [state, time.time()]
         for column, value in (
             ("attempts", attempts), ("resumed", resumed),
-            ("error", error), ("result", result),
+            ("error", error), ("result", result), ("trace", trace),
         ):
             if value is not None:
                 sets.append(f"{column} = ?")
@@ -335,6 +370,68 @@ class CampaignDB:
     def journal_pending(self) -> list[JobRow]:
         """Jobs a restarted service must re-queue: queued or running."""
         return self.journal_jobs(states=("queued", "running"))
+
+    # -- span persistence (fleet tracing, schema v1 in repro.obs) ---------
+
+    def span_put_many(self, spans: list[dict[str, Any]]) -> int:
+        """Persist finished span dicts; idempotent on span id."""
+        count = 0
+        for span in spans:
+            try:
+                row = (
+                    str(span["span"]), str(span["trace"]), span.get("parent"),
+                    str(span["name"]), str(span.get("kind", span["name"])),
+                    float(span["start"]), float(span["end"]),
+                    str(span.get("outcome", "")), int(span.get("pid", 0)),
+                    json.dumps(span.get("attrs") or {}, sort_keys=True),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # malformed span: skip, never poison the batch
+            self._execute(
+                "INSERT OR REPLACE INTO spans (span_id, trace_id, parent_id,"
+                " name, kind, start, end, outcome, pid, attrs)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                row,
+            )
+            count += 1
+        if count:
+            self._commit()
+        return count
+
+    def spans(self, trace_id: str | None = None,
+              *, limit: int = 0) -> list[dict[str, Any]]:
+        """Stored spans as schema-v1 dicts, oldest first."""
+        query = ("SELECT span_id, trace_id, parent_id, name, kind, start,"
+                 " end, outcome, pid, attrs FROM spans")
+        params: tuple = ()
+        if trace_id is not None:
+            query += " WHERE trace_id = ?"
+            params = (trace_id,)
+        query += " ORDER BY start, span_id"
+        if limit:
+            query += f" LIMIT {int(limit)}"
+        out = []
+        for row in self._execute(query, params):
+            try:
+                attrs = json.loads(row[9]) if row[9] else {}
+            except ValueError:
+                attrs = {}
+            out.append({
+                "v": 1, "span": row[0], "trace": row[1], "parent": row[2],
+                "name": row[3], "kind": row[4], "start": row[5],
+                "end": row[6], "outcome": row[7], "pid": row[8],
+                "attrs": attrs,
+            })
+        return out
+
+    def span_traces(self) -> list[str]:
+        """Distinct trace ids with stored spans, oldest first."""
+        return [
+            row[0] for row in self._execute(
+                "SELECT trace_id, MIN(start) AS t0 FROM spans"
+                " GROUP BY trace_id ORDER BY t0"
+            )
+        ]
 
     def close(self) -> None:
         self._conn.close()

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable
 
+from repro import obs
 from repro.campaign.db import CampaignDB, config_hash
 from repro.campaign.payload import PayloadError, decode_payload, encode_payload
 from repro.campaign.worker import execute_task, worker_main
@@ -128,6 +129,7 @@ class _TaskState:
     __slots__ = (
         "task", "attempts", "eligible_at", "started", "last_status",
         "last_error", "last_detail", "seed", "timeout", "retries",
+        "span", "queued_wall", "started_wall",
     )
 
     def __init__(self, task: CampaignTask, *, timeout: float | None,
@@ -142,6 +144,11 @@ class _TaskState:
         self.seed: int | None = None
         self.timeout = timeout
         self.retries = retries
+        # Fleet tracing + queue-wait bookkeeping (wall clock, not the
+        # monotonic clock `started` uses for elapsed).
+        self.span: Any = obs.NULL_SPAN
+        self.queued_wall = time.time()
+        self.started_wall: float | None = None
 
     def attempt_kwargs(self, reseed_base: int | None) -> dict[str, Any]:
         kwargs = dict(self.task.kwargs)
@@ -171,6 +178,7 @@ class _Worker:
         self.conn = parent_conn
         self.state: _TaskState | None = None
         self.deadline: float | None = None
+        self.assigned_wall: float | None = None
 
     @property
     def busy(self) -> bool:
@@ -222,6 +230,7 @@ class CampaignEngine:
         heartbeat_timeout: float = 30.0,
         registry: CounterRegistry | None = None,
         git_rev: str | None = None,
+        span_parent: "obs.SpanContext | None" = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be a positive worker count")
@@ -245,6 +254,11 @@ class CampaignEngine:
         self.fail_fast = fail_fast
         self.heartbeat_timeout = heartbeat_timeout
         self.git_rev = git_rev if git_rev is not None else _git_rev()
+        # Explicit parent span context for the campaign.run span: the
+        # service runs engines on executor threads where the caller's
+        # contextvar does not propagate, so it hands the job span here.
+        self.span_parent = span_parent
+        self._queue_waits: list[float] = []
         # Cooperative shutdown: request_stop() (drain: in-flight tasks
         # finish, pending tasks become cancelled records) and the
         # coordinator's own SIGINT/SIGTERM handler (interrupt: in-flight
@@ -293,36 +307,59 @@ class CampaignEngine:
         if len(set(names)) != len(names):
             raise ValueError("task names must be unique within a campaign")
         self._c_tasks.incr(len(tasks))
-        manifest: dict[str, TaskRecord] = {}
-        if self.manifest_path is not None and self.resume:
-            manifest = load_manifest(self.manifest_path)
+        run_span = obs.start_span(
+            "campaign.run", kind="campaign.run", parent=self.span_parent,
+            attrs={"jobs": self.jobs, "tasks": len(tasks)},
+        )
+        with run_span:
+            manifest: dict[str, TaskRecord] = {}
+            if self.manifest_path is not None and self.resume:
+                manifest = load_manifest(self.manifest_path)
 
-        results: dict[str, TaskRecord] = {}
-        to_run: list[CampaignTask] = []
-        for task in tasks:
-            previous = manifest.get(task.name)
-            if previous is not None and previous.ok:
-                previous.cached = True
-                self._c_manifest_hits.incr()
-                self._land(previous, manifest, on_record, persist=False)
-                results[task.name] = previous
-                continue
-            cached = self._cache_lookup(task)
-            if cached is not None:
-                self._land(cached, manifest, on_record, persist=False)
-                results[task.name] = cached
-                continue
-            to_run.append(task)
+            results: dict[str, TaskRecord] = {}
+            to_run: list[CampaignTask] = []
+            tracing = obs.active() is not None
+            for task in tasks:
+                previous = manifest.get(task.name)
+                if previous is not None and previous.ok:
+                    previous.cached = True
+                    self._c_manifest_hits.incr()
+                    self._land(previous, manifest, on_record, persist=False)
+                    results[task.name] = previous
+                    if tracing:
+                        obs.start_span(
+                            "campaign.task", kind="campaign.task",
+                            attrs={"task": task.name, "cache": "manifest"},
+                        ).end(STATUS_OK)
+                    continue
+                cached = self._cache_lookup(task)
+                if cached is not None:
+                    self._land(cached, manifest, on_record, persist=False)
+                    results[task.name] = cached
+                    if tracing:
+                        obs.start_span(
+                            "campaign.task", kind="campaign.task",
+                            attrs={"task": task.name, "cache": "hit"},
+                        ).end(STATUS_OK)
+                    continue
+                to_run.append(task)
 
-        if to_run:
-            if self.jobs == 1:
-                self._run_serial(to_run, results, manifest, on_record)
-            else:
-                self._run_parallel(to_run, results, manifest, on_record)
+            if to_run:
+                if self.jobs == 1:
+                    self._run_serial(to_run, results, manifest, on_record)
+                else:
+                    self._run_parallel(to_run, results, manifest, on_record)
 
-        report = BatchReport()
-        report.records = [results[name] for name in names]
-        return report
+            report = BatchReport()
+            report.records = [results[name] for name in names]
+            run_span.set_many({
+                "executed": int(self._c_executed.value),
+                "cached": int(self._c_cache_hits.value
+                              + self._c_manifest_hits.value),
+                "failed": int(self._c_failed.value + self._c_timeout.value),
+                "retries": int(self._c_retries.value),
+            })
+            return report
 
     def summary_line(self) -> str:
         """One-line campaign tally for CLI output (and CI grepping)."""
@@ -338,6 +375,11 @@ class CampaignEngine:
         crashes = int(self._c_crashed.value + self._c_hung.value)
         if crashes:
             parts.append(f"{crashes} worker crash(es) reaped")
+        if self._queue_waits:
+            avg = sum(self._queue_waits) / len(self._queue_waits)
+            parts.append(
+                f"queue-wait avg {avg:.2f}s max {max(self._queue_waits):.2f}s"
+            )
         if total and executed == 0 and failed == 0 and cached == total:
             parts.append(f"all {total} task(s) served from campaign cache")
         return "; ".join(parts)
@@ -417,6 +459,8 @@ class CampaignEngine:
         task: CampaignTask | None = None,
     ) -> None:
         """Finalize one record: counters, campaign DB, manifest, callback."""
+        if record.queued_at and record.started_at:
+            self._queue_waits.append(record.queue_wait)
         if not record.cached and record.status != STATUS_SKIPPED:
             self._c_executed.incr()
             self._c_retries.incr(max(0, record.attempts - 1))
@@ -481,6 +525,7 @@ class CampaignEngine:
             reseed_base=self.reseed_base,
         )
         abort = False
+        batch_queued_at = time.time()
         for task in tasks:
             if self._stop_requested:
                 record = self._cancel_record(task.name, "drain requested")
@@ -491,15 +536,26 @@ class CampaignEngine:
                     error="skipped (fail-fast)",
                 )
             else:
-                record = runner._run_one(
-                    TaskSpec(
-                        name=task.name,
-                        fn=task.fn,
-                        kwargs=task.kwargs,
-                        timeout=task.timeout,
-                        retries=task.retries,
-                    )
+                task_span = obs.start_span(
+                    "campaign.task", kind="campaign.task",
+                    attrs={"task": task.name},
                 )
+                with task_span:
+                    record = runner._run_one(
+                        TaskSpec(
+                            name=task.name,
+                            fn=task.fn,
+                            kwargs=task.kwargs,
+                            timeout=task.timeout,
+                            retries=task.retries,
+                        ),
+                        queued_at=batch_queued_at,
+                    )
+                    task_span.outcome = record.status
+                    task_span.set_many(
+                        {"attempts": record.attempts,
+                         "queue_wait_s": round(record.queue_wait, 6)}
+                    )
             results[task.name] = record
             self._land(record, manifest, on_record,
                        persist=record.status != STATUS_SKIPPED, task=task)
@@ -524,10 +580,18 @@ class CampaignEngine:
         on_record: Callable[[TaskRecord], None] | None,
     ) -> None:
         ctx = self._mp_context()
+        tracing = obs.active() is not None
         pending: list[_TaskState] = []
         for task in tasks:
             timeout, retries = self._effective(task)
-            pending.append(_TaskState(task, timeout=timeout, retries=retries))
+            state = _TaskState(task, timeout=timeout, retries=retries)
+            if tracing:
+                state.span = obs.start_span(
+                    "campaign.task", kind="campaign.task",
+                    attrs={"task": task.name,
+                           "config_hash": task.config_hash[:12]},
+                )
+            pending.append(state)
         workers: list[_Worker] = []
         abort = False
         # The coordinator owns worker processes, so Ctrl-C / SIGTERM must
@@ -560,6 +624,7 @@ class CampaignEngine:
                         results[state.task.name] = record
                         self._land(record, manifest, on_record,
                                    persist=False, task=state.task)
+                        state.span.end("cancelled")
                     pending.clear()
                     if self._interrupted:
                         # Interrupt also abandons in-flight work: kill
@@ -574,6 +639,7 @@ class CampaignEngine:
                                 results[state.task.name] = record
                                 self._land(record, manifest, on_record,
                                            persist=False, task=state.task)
+                                state.span.end("cancelled")
                             worker.kill()
                             workers.remove(worker)
                         break
@@ -589,6 +655,7 @@ class CampaignEngine:
                         results[state.task.name] = record
                         self._land(record, manifest, on_record,
                                    persist=False, task=state.task)
+                        state.span.end(STATUS_SKIPPED)
                     pending.clear()
                 self._assign(ctx, workers, pending, results, manifest,
                              on_record, now)
@@ -665,6 +732,20 @@ class CampaignEngine:
                 state.last_status = STATUS_TIMEOUT
                 state.last_error = f"worker {why}; killed by watchdog"
                 state.last_detail = ""
+            if state.span is not obs.NULL_SPAN:
+                # A reaped worker never ships its own attempt span, so
+                # the coordinator synthesises one from its clocks — the
+                # parent task span still closes with a full attempt
+                # history even when the child process is gone.
+                obs.start_span(
+                    "task.attempt", kind="task.attempt", parent=state.span,
+                    start_at=worker.assigned_wall or time.time(),
+                    attrs={"task": state.task.name,
+                           "attempt": state.attempts,
+                           "worker_pid": worker.proc.pid,
+                           "synthesized": True,
+                           "error": state.last_error},
+                ).end(state.last_status)
             worker.kill()
             workers.remove(worker)
             state.eligible_at = now + self._retry_delay(state.attempts)
@@ -707,18 +788,41 @@ class CampaignEngine:
             pending.remove(state)
             if state.started is None:
                 state.started = now
+            if state.started_wall is None:
+                # First assignment ends the queue-wait phase.
+                state.started_wall = time.time()
+                if state.span is not obs.NULL_SPAN:
+                    obs.start_span(
+                        "task.queue", kind="task.queue", parent=state.span,
+                        start_at=state.queued_wall,
+                        attrs={"task": state.task.name},
+                    ).end(STATUS_OK, at=state.started_wall)
             kwargs = state.attempt_kwargs(self.reseed_base)
             state.attempts += 1
-            message = (state.task.name, state.task.fn, kwargs, state.timeout)
+            span_ctx = None
+            if state.span is not obs.NULL_SPAN:
+                span_ctx = dict(state.span.context.to_dict(),
+                                attempt=state.attempts)
+            message = (state.task.name, state.task.fn, kwargs, state.timeout,
+                       span_ctx)
             try:
                 worker.conn.send(message)
             except (pickle.PicklingError, AttributeError, TypeError):
                 # Unpicklable task (lambda/closure): degrade gracefully
                 # by running it inline in the coordinator.
                 self._c_inline.incr()
-                raw = execute_task(
-                    state.task.name, state.task.fn, kwargs, state.timeout
+                attempt_span = obs.start_span(
+                    "task.attempt", kind="task.attempt",
+                    parent=state.span if span_ctx is not None else None,
+                    attrs={"task": state.task.name,
+                           "attempt": state.attempts,
+                           "pid": os.getpid(), "inline": True},
                 )
+                with attempt_span:
+                    raw = execute_task(
+                        state.task.name, state.task.fn, kwargs, state.timeout
+                    )
+                    attempt_span.outcome = raw["status"]
                 self._absorb_attempt(state, raw, pending, results, manifest,
                                      on_record)
                 continue
@@ -731,6 +835,7 @@ class CampaignEngine:
                 workers.remove(worker)
                 continue
             worker.state = state
+            worker.assigned_wall = time.time()
             worker.deadline = (
                 now + state.timeout * _DEADLINE_SLACK + _DEADLINE_GRACE
                 if state.timeout is not None and state.timeout > 0 else None
@@ -754,8 +859,14 @@ class CampaignEngine:
             return None
         worker.state = None
         worker.deadline = None
+        worker.assigned_wall = None
         if state is None:
             return None
+        worker_spans = raw.pop("spans", None)
+        if worker_spans:
+            recorder = obs.active()
+            if recorder is not None:
+                recorder.adopt(worker_spans)
         result_bytes = raw.pop("result_bytes", None)
         if result_bytes is not None:
             try:
@@ -811,7 +922,7 @@ class CampaignEngine:
             time.monotonic() - state.started
             if state.started is not None else 0.0
         )
-        return TaskRecord(
+        record = TaskRecord(
             name=state.task.name,
             status=state.last_status,
             attempts=state.attempts,
@@ -823,3 +934,15 @@ class CampaignEngine:
             seed=state.seed,
             result=result,
         )
+        record.queued_at = state.queued_wall
+        record.started_at = state.started_wall or 0.0
+        record.finished_at = time.time()
+        if state.span is not obs.NULL_SPAN:
+            state.span.set_many({
+                "attempts": state.attempts,
+                "queue_wait_s": round(record.queue_wait, 6),
+            })
+            if record.error:
+                state.span.set("error", record.error[:200])
+            state.span.end(record.status)
+        return record

@@ -1,7 +1,9 @@
 """Campaign worker process: execute tasks, heartbeat, report back.
 
 Each worker is one OS process running :func:`worker_main`: it receives
-``(name, fn, kwargs, timeout)`` messages over its pipe, executes them
+``(name, fn, kwargs, timeout, span_ctx)`` messages over its pipe (the
+fifth element carries the parent span identity when fleet tracing is on
+— see :mod:`repro.obs` — or ``None``), executes them
 with the runner's SIGALRM-backed timeout (workers run tasks on their
 main thread, so the alarm path — which interrupts even tight
 pure-Python loops — is always available), and sends a structured result
@@ -30,6 +32,7 @@ import traceback
 from multiprocessing.connection import Connection
 from typing import Any
 
+from repro import obs
 from repro.runner.core import (
     STATUS_FAILED,
     STATUS_OK,
@@ -99,8 +102,47 @@ def execute_task(
     return record
 
 
+def execute_traced(
+    name: str, fn: Any, kwargs: dict[str, Any], timeout: float | None,
+    span_ctx: dict[str, Any] | None,
+) -> dict[str, Any]:
+    """Run one attempt inside a worker-local span recorder.
+
+    The parent span lives in the coordinator process; ``span_ctx``
+    carries its ``{"trace", "span", "attempt"}`` identity across the
+    pipe.  Finished span dicts ride back on ``record["spans"]`` and are
+    adopted by the coordinator's recorder — a crashed worker simply
+    never ships them, and the coordinator synthesises the attempt span
+    from its own clocks instead.
+    """
+    parent = obs.SpanContext.from_dict(span_ctx)
+    if parent is None:
+        return execute_task(name, fn, kwargs, timeout)
+    recorder = obs.SpanRecorder()
+    obs.enable(recorder)
+    try:
+        span = recorder.start_span(
+            "task.attempt", kind="task.attempt", parent=parent,
+            attrs={"task": name,
+                   "attempt": int((span_ctx or {}).get("attempt", 1)),
+                   "pid": os.getpid()},
+        )
+        with span:
+            record = execute_task(name, fn, kwargs, timeout)
+            span.outcome = record["status"]
+            if record["error"]:
+                span.set("error", record["error"][:200])
+    finally:
+        obs.disable()
+    record["spans"] = recorder.drain()
+    return record
+
+
 def worker_main(conn: Connection, beat) -> None:
     """Worker process entry point: loop over tasks until told to stop."""
+    # The worker was forked mid-run: drop any recorder (and buffered
+    # spans) inherited from the coordinator so nothing is double-counted.
+    obs.disable()
     stop = threading.Event()
     threading.Thread(
         target=_heartbeat_loop, args=(beat, stop), daemon=True,
@@ -114,9 +156,9 @@ def worker_main(conn: Connection, beat) -> None:
                 break
             if message is None:  # orderly shutdown
                 break
-            name, fn, kwargs, timeout = message
+            name, fn, kwargs, timeout, span_ctx = message
             maybe_test_crash(name)
-            record = execute_task(name, fn, kwargs, timeout)
+            record = execute_traced(name, fn, kwargs, timeout, span_ctx)
             result = record.pop("result")
             try:
                 record["result_bytes"] = pickle.dumps(result)

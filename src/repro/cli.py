@@ -65,7 +65,7 @@ Commands
 
 ``serve [--host H] [--port P] [--capacity N] [--concurrency N]
 [--jobs N] [--timeout S] [--retries N] [--backoff S] [--drain-grace S]
-[--campaign-db FILE]``
+[--campaign-db FILE] [--no-spans]``
     Run the fault-tolerant leakcheck job service: an HTTP server that
     accepts probe/leakcheck/bench jobs as JSON, journals every accepted
     job in the campaign DB before acknowledging it (jobs survive
@@ -73,6 +73,16 @@ Commands
     the campaign result cache, sheds overload with 429 +
     ``Retry-After``, and drains gracefully on SIGTERM/SIGINT (exit 0).
     See ``docs/service.md``.
+
+``spans {report,export,tail} [SOURCE]``
+    Fleet telemetry over recorded span logs (docs/observability.md).
+    SOURCE is a span JSONL file (from ``--spans``) or a campaign DB
+    (``repro serve`` persists job traces there); default is the
+    resolved campaign DB.  ``report`` prints per-kind latency
+    percentiles, outcome/retry/straggler and queue-wait summaries
+    (``--strict`` validates the log and gates CI); ``export`` rewrites
+    a trace as JSONL / Chrome ``trace_event`` / Prometheus text;
+    ``tail`` prints the most recent spans.
 
 ``service-load --port P [-n N] [--concurrency N] [--kind K]
 [--spec JSON] [--same-seed] [--json FILE]``
@@ -248,6 +258,11 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--retries", type=_retries_count, default=0, metavar="N",
         help="retry failed/crashed tasks up to N times with backoff",
+    )
+    parser.add_argument(
+        "--spans", metavar="FILE", default=None,
+        help="trace this invocation and export the span tree as JSONL "
+        "(plus FILE.chrome.json and FILE.prom; default: env REPRO_SPANS)",
     )
 
 
@@ -667,6 +682,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backoff=args.backoff,
             engine_jobs=args.jobs,
             drain_grace=args.drain_grace,
+            spans=not args.no_spans,
         )
         await service.start()
         loop = asyncio.get_running_loop()
@@ -685,10 +701,90 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         await service.wait_closed()
         service.db.close()
+        if service.drain_report is not None:
+            # One machine-parseable line per drain: what was
+            # checkpointed, what was force-stopped, under what grace.
+            print(service.drain_summary_line(), flush=True)
         print(service.summary_line())
         return 0
 
     return asyncio.run(_serve())
+
+
+def _load_spans(
+    source: str | os.PathLike[str], trace: str | None = None
+) -> list[dict]:
+    """Read schema-v1 span dicts from a JSONL file or a campaign DB.
+
+    Detection is by content, not extension: SQLite files carry a fixed
+    16-byte magic, anything else is treated as a JSONL span log.
+    """
+    from repro import obs
+
+    path = pathlib.Path(source)
+    if not path.exists():
+        raise ValueError(f"span source not found: {path}")
+    with open(path, "rb") as handle:
+        magic = handle.read(16)
+    if magic.startswith(b"SQLite format 3"):
+        from repro.campaign import CampaignDB
+
+        db = CampaignDB(str(path))
+        try:
+            return db.spans(trace)
+        finally:
+            db.close()
+    spans = obs.read_spans_jsonl(path)
+    if trace:
+        spans = [s for s in spans if s.get("trace") == trace]
+    return spans
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs import fleet_prometheus_text, render_report, summarize
+
+    source = args.source or str(_resolve_campaign_db(args))
+    spans = _load_spans(source, getattr(args, "trace", None))
+    if args.spans_command == "report":
+        errors = obs.validate_spans(spans)
+        print(render_report(summarize(spans), top=args.top))
+        if errors:
+            print(f"\nspan log problems ({len(errors)}):")
+            for line in errors[:20]:
+                print(f"  {line}")
+            if args.strict:
+                return 1
+        elif args.strict and not spans:
+            print("no spans recorded", file=sys.stderr)
+            return 1
+        return 0
+    if args.spans_command == "export":
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        obs.write_spans_jsonl(spans, out)
+        written = [str(out)]
+        if args.chrome:
+            obs.write_chrome_spans(spans, args.chrome)
+            written.append(args.chrome)
+        if args.prom:
+            pathlib.Path(args.prom).write_text(
+                fleet_prometheus_text(summarize(spans))
+            )
+            written.append(args.prom)
+        print(f"exported {len(spans)} spans: {', '.join(written)}")
+        return 0
+    # tail: the most recently finished spans, oldest first.
+    spans.sort(key=lambda s: s.get("end", 0.0))
+    for span in spans[-args.limit:]:
+        dur_ms = (span.get("end", 0.0) - span.get("start", 0.0)) * 1000.0
+        print(
+            f"{span.get('end', 0.0):.3f} {span.get('kind', '?'):16s} "
+            f"{span.get('outcome', '?'):10s} {dur_ms:9.1f}ms "
+            f"trace={str(span.get('trace', ''))[:8]} "
+            f"pid={span.get('pid', 0)}"
+        )
+    return 0
 
 
 def _cmd_service_load(args: argparse.Namespace) -> int:
@@ -1197,7 +1293,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign DB path, also the job journal (default: env "
         f"REPRO_CAMPAIGN_DB, else {_DEFAULT_CAMPAIGN_DB})",
     )
+    serve.add_argument(
+        "--no-spans", action="store_true",
+        help="disable span tracing and fleet telemetry for this service",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    spans = commands.add_parser(
+        "spans",
+        help="fleet telemetry: report/export/tail recorded span logs",
+    )
+    spans_commands = spans.add_subparsers(dest="spans_command", required=True)
+
+    def _spans_source_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "source", nargs="?", default=None,
+            help="span JSONL file or campaign DB (default: resolved "
+            "campaign DB)",
+        )
+        sub.add_argument(
+            "--trace", metavar="ID", default=None,
+            help="restrict to one trace id",
+        )
+        sub.add_argument(
+            "--campaign-db", metavar="FILE", default=None,
+            help="campaign DB used when no SOURCE is given (default: env "
+            f"REPRO_CAMPAIGN_DB, else {_DEFAULT_CAMPAIGN_DB})",
+        )
+
+    spans_report = spans_commands.add_parser(
+        "report", help="per-kind latency percentiles and fleet summary",
+    )
+    _spans_source_options(spans_report)
+    spans_report.add_argument(
+        "--top", type=_positive_int, default=5, metavar="N",
+        help="stragglers to list (default 5)",
+    )
+    spans_report.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on an invalid or empty span log (CI gate)",
+    )
+    spans_report.set_defaults(func=_cmd_spans)
+
+    spans_export = spans_commands.add_parser(
+        "export", help="rewrite spans as JSONL / Chrome trace / Prometheus",
+    )
+    _spans_source_options(spans_export)
+    spans_export.add_argument(
+        "--out", required=True, metavar="FILE",
+        help="output JSONL span log",
+    )
+    spans_export.add_argument(
+        "--chrome", metavar="FILE", default=None,
+        help="also write a Chrome trace_event timeline (Perfetto-loadable)",
+    )
+    spans_export.add_argument(
+        "--prom", metavar="FILE", default=None,
+        help="also write the fleet summary as Prometheus text",
+    )
+    spans_export.set_defaults(func=_cmd_spans)
+
+    spans_tail = spans_commands.add_parser(
+        "tail", help="print the most recently finished spans",
+    )
+    _spans_source_options(spans_tail)
+    spans_tail.add_argument(
+        "--limit", type=_positive_int, default=20, metavar="N",
+        help="spans to show (default 20)",
+    )
+    spans_tail.set_defaults(func=_cmd_spans)
 
     service_load = commands.add_parser(
         "service-load",
@@ -1401,11 +1565,59 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_with_spans(args: argparse.Namespace) -> int:
+    """Dispatch ``args.func``, tracing it when span export is requested.
+
+    ``--spans FILE`` (or ``REPRO_SPANS=FILE``) mints the trace at the
+    outermost entry point — this CLI invocation — so every campaign
+    task, worker attempt and oracle evaluation below it shares one
+    trace id.  Three artifacts are written next to FILE: the JSONL span
+    log (schema v1), a Chrome ``trace_event`` timeline, and a
+    Prometheus text snapshot of the fleet summary.  Without the flag
+    this is a plain call: no recorder, no allocation, zero overhead.
+    """
+    path = getattr(args, "spans", None) or os.environ.get("REPRO_SPANS")
+    if not path:
+        return args.func(args)
+    from repro import obs
+    from repro.obs import fleet_prometheus_text, summarize
+
+    recorder = obs.SpanRecorder()
+    obs.enable(recorder)
+    root = recorder.start_span(
+        "cli", kind="cli",
+        attrs={"command": getattr(args, "command", ""), "pid": os.getpid()},
+    )
+    try:
+        with root:
+            code = args.func(args)
+            if code != 0:
+                root.outcome = "failed"
+                root.set("exit_code", code)
+        return code
+    finally:
+        obs.disable()
+        spans = recorder.drain()
+        out = pathlib.Path(path)
+        if out.parent != pathlib.Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        obs.write_spans_jsonl(spans, out)
+        chrome = out.with_name(out.name + ".chrome.json")
+        obs.write_chrome_spans(spans, chrome)
+        prom = out.with_name(out.name + ".prom")
+        prom.write_text(fleet_prometheus_text(summarize(spans)))
+        print(
+            f"spans: wrote {len(spans)} spans to {out} "
+            f"(+ {chrome.name}, {prom.name})",
+            file=sys.stderr,
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        return _run_with_spans(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

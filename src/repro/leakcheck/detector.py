@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.config import SecureProcessorConfig
 from repro.leakcheck.victims import VictimSpec, get_victim
 from repro.proc.processor import SecureProcessor
@@ -234,33 +235,39 @@ def run_leakcheck(
     spec = victim if isinstance(victim, VictimSpec) else get_victim(victim)
     if config is None:
         config = SecureProcessorConfig.sct_default(functional_crypto=False)
-    secret_a, secret_b = spec.secrets(seed)
-    events_a, dropped_a = _collect_trace(
-        spec, secret_a, config=config, capacity=capacity
-    )
-    events_b, dropped_b = _collect_trace(
-        spec, secret_b, config=config, capacity=capacity
-    )
-    grouped_a = group_by_kind(events_a)
-    grouped_b = group_by_kind(events_b)
-    report = LeakReport(
-        victim=spec.name,
-        seed=seed,
-        alpha=alpha,
-        events_a=len(events_a),
-        events_b=len(events_b),
-        dropped_a=dropped_a,
-        dropped_b=dropped_b,
-    )
-    for key in sorted(set(grouped_a) | set(grouped_b)):
-        component, kind = key
-        report.findings.append(
-            _compare_kind(
-                component,
-                kind,
-                grouped_a.get(key, []),
-                grouped_b.get(key, []),
-                alpha,
-            )
+    with obs.start_span(
+        "oracle.leakcheck", kind="oracle.leakcheck",
+        attrs={"victim": spec.name, "seed": seed},
+    ) as span:
+        secret_a, secret_b = spec.secrets(seed)
+        events_a, dropped_a = _collect_trace(
+            spec, secret_a, config=config, capacity=capacity
         )
+        events_b, dropped_b = _collect_trace(
+            spec, secret_b, config=config, capacity=capacity
+        )
+        grouped_a = group_by_kind(events_a)
+        grouped_b = group_by_kind(events_b)
+        report = LeakReport(
+            victim=spec.name,
+            seed=seed,
+            alpha=alpha,
+            events_a=len(events_a),
+            events_b=len(events_b),
+            dropped_a=dropped_a,
+            dropped_b=dropped_b,
+        )
+        for key in sorted(set(grouped_a) | set(grouped_b)):
+            component, kind = key
+            report.findings.append(
+                _compare_kind(
+                    component,
+                    kind,
+                    grouped_a.get(key, []),
+                    grouped_b.get(key, []),
+                    alpha,
+                )
+            )
+        span.set_many({"leaky": report.leaky,
+                       "events": report.events_a + report.events_b})
     return report

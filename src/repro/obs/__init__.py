@@ -1,0 +1,61 @@
+"""Fleet observability: distributed wall-clock span tracing + telemetry.
+
+See :mod:`repro.obs.spans` for the span model and the zero-overhead
+``start_span`` gate, :mod:`repro.obs.telemetry` for latency/straggler
+summaries, and docs/observability.md ("Fleet telemetry") for the
+operator view.
+"""
+
+from repro.obs.spans import (
+    NULL_SPAN,
+    SCHEMA_VERSION,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    active,
+    current_context,
+    disable,
+    enable,
+    new_span_id,
+    new_trace_id,
+    read_spans_jsonl,
+    spans_to_chrome,
+    start_span,
+    validate_spans,
+    write_chrome_spans,
+    write_spans_jsonl,
+)
+from repro.obs.telemetry import (
+    FleetSummary,
+    PhaseStats,
+    fleet_prometheus_text,
+    percentile,
+    render_report,
+    summarize,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "SCHEMA_VERSION",
+    "FleetSummary",
+    "PhaseStats",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "active",
+    "current_context",
+    "disable",
+    "enable",
+    "fleet_prometheus_text",
+    "new_span_id",
+    "new_trace_id",
+    "percentile",
+    "read_spans_jsonl",
+    "render_report",
+    "spans_to_chrome",
+    "start_span",
+    "summarize",
+    "validate_spans",
+    "write_chrome_spans",
+    "write_spans_jsonl",
+]

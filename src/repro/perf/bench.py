@@ -29,6 +29,7 @@ from dataclasses import asdict, dataclass
 from random import Random
 from typing import Callable
 
+from repro import obs
 from repro.attacks.covert import CovertChannelT
 from repro.config import MIB, PAGE_SIZE, preset_config
 from repro.leakcheck.victims import get_victim
@@ -260,9 +261,13 @@ def run_scenario(name: str, *, seed: int = 0, quick: bool = False) -> BenchResul
             f"unknown bench scenario {name!r}; choose from {scenario_names()}"
         )
     preset, runner = entry
-    start = time.perf_counter()
-    measured = runner(seed, quick)
-    wall = time.perf_counter() - start
+    with obs.start_span(
+        "bench.scenario", kind="bench.scenario",
+        attrs={"scenario": name, "seed": seed, "quick": quick},
+    ):
+        start = time.perf_counter()
+        measured = runner(seed, quick)
+        wall = time.perf_counter() - start
     if isinstance(measured, RawMeasure):
         cycles = measured.simulated_cycles
         accesses = measured.accesses

@@ -21,6 +21,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import obs
+
 MANIFEST_VERSION = 1
 
 # Record statuses a task can end in.  ``ok`` counts as success whether it
@@ -68,11 +70,24 @@ class TaskRecord:
     detail: str = ""  # traceback tail for failures
     seed: int | None = None  # reseed used by the successful/last attempt
     cached: bool = False  # restored from a previous run's manifest
+    # Wall-clock lifecycle (epoch seconds; 0.0 = not recorded).  queue-wait
+    # is started_at - queued_at; the span layer reads these rather than
+    # re-deriving them from its own clocks.
+    queued_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
     result: Any = None  # in-memory only, never serialised
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent queued before the first attempt started."""
+        if self.queued_at and self.started_at:
+            return max(0.0, self.started_at - self.queued_at)
+        return 0.0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -83,6 +98,9 @@ class TaskRecord:
             "error": self.error,
             "detail": self.detail,
             "seed": self.seed,
+            "queued_at": round(self.queued_at, 3),
+            "started_at": round(self.started_at, 3),
+            "finished_at": round(self.finished_at, 3),
         }
 
     @classmethod
@@ -95,6 +113,9 @@ class TaskRecord:
             error=str(data.get("error", "")),
             detail=str(data.get("detail", "")),
             seed=data.get("seed"),
+            queued_at=float(data.get("queued_at", 0.0)),
+            started_at=float(data.get("started_at", 0.0)),
+            finished_at=float(data.get("finished_at", 0.0)),
         )
 
 
@@ -295,6 +316,7 @@ class ExperimentRunner:
             manifest = load_manifest(self.manifest_path)
         report = BatchReport()
         abort = False
+        batch_queued_at = time.time()
         for spec in specs:
             previous = manifest.get(spec.name)
             if previous is not None and previous.ok:
@@ -307,7 +329,7 @@ class ExperimentRunner:
                     error="skipped (fail-fast)",
                 )
             else:
-                record = self._run_one(spec)
+                record = self._run_one(spec, queued_at=batch_queued_at)
             report.records.append(record)
             manifest[spec.name] = record
             if self.manifest_path is not None:
@@ -320,11 +342,15 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
 
-    def _run_one(self, spec: TaskSpec) -> TaskRecord:
+    def _run_one(
+        self, spec: TaskSpec, *, queued_at: float | None = None
+    ) -> TaskRecord:
         timeout = spec.timeout if spec.timeout is not None else self.timeout
         retries = spec.retries if spec.retries is not None else self.retries
         reseedable = self.reseed_base is not None and _accepts_seed(spec.fn)
         record = TaskRecord(name=spec.name, status=STATUS_FAILED)
+        record.queued_at = queued_at if queued_at is not None else time.time()
+        record.started_at = time.time()
         started = self._clock()
         for attempt in range(retries + 1):
             record.attempts = attempt + 1
@@ -334,46 +360,60 @@ class ExperimentRunner:
                 # experiment should not re-roll the exact same trace.
                 record.seed = (self.reseed_base or 0) + attempt
                 kwargs.setdefault("seed", record.seed)
-            try:
-                record.result = _call_with_timeout(spec.fn, kwargs, timeout)
-            except TaskTimeout as error:
-                record.status = STATUS_TIMEOUT
-                record.error = str(error)
-                record.detail = ""
-                if error.leaked_thread is not None:
-                    # The thread-fallback path cannot kill the expired
-                    # task: record the leak so the manifest shows it,
-                    # and warn once per runner.
-                    record.detail = (
-                        f"abandoned daemon worker thread "
-                        f"{error.leaked_thread!r} may still be running "
-                        f"and mutating shared state"
-                    )
-                    if not self._warned_thread_leak:
-                        self._warned_thread_leak = True
-                        warnings.warn(
-                            "task timeout used the thread-fallback path: "
-                            "the expired task's daemon thread cannot be "
-                            "killed and keeps running in the background "
-                            "(run on the main thread for SIGALRM-based "
-                            "hard timeouts)",
-                            RuntimeWarning,
-                            stacklevel=2,
+            attempt_span = obs.start_span(
+                "task.attempt", kind="task.attempt",
+                attrs={"task": spec.name, "attempt": attempt + 1,
+                       "pid": os.getpid()},
+            )
+            if record.seed is not None:
+                attempt_span.set("seed", record.seed)
+            with attempt_span:
+                try:
+                    record.result = _call_with_timeout(spec.fn, kwargs, timeout)
+                except TaskTimeout as error:
+                    record.status = STATUS_TIMEOUT
+                    record.error = str(error)
+                    record.detail = ""
+                    attempt_span.outcome = STATUS_TIMEOUT
+                    attempt_span.set("error", record.error)
+                    if error.leaked_thread is not None:
+                        # The thread-fallback path cannot kill the expired
+                        # task: record the leak so the manifest shows it,
+                        # and warn once per runner.
+                        record.detail = (
+                            f"abandoned daemon worker thread "
+                            f"{error.leaked_thread!r} may still be running "
+                            f"and mutating shared state"
                         )
-            except KeyboardInterrupt:
-                raise
-            except BaseException as error:  # crash isolation
-                record.status = STATUS_FAILED
-                record.error = f"{type(error).__name__}: {error}"
-                record.detail = "".join(
-                    traceback.format_exception(error)
-                )[-2000:]
-            else:
-                record.status = STATUS_OK
-                record.error = ""
-                record.detail = ""
+                        if not self._warned_thread_leak:
+                            self._warned_thread_leak = True
+                            warnings.warn(
+                                "task timeout used the thread-fallback path: "
+                                "the expired task's daemon thread cannot be "
+                                "killed and keeps running in the background "
+                                "(run on the main thread for SIGALRM-based "
+                                "hard timeouts)",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as error:  # crash isolation
+                    record.status = STATUS_FAILED
+                    record.error = f"{type(error).__name__}: {error}"
+                    record.detail = "".join(
+                        traceback.format_exception(error)
+                    )[-2000:]
+                    attempt_span.outcome = STATUS_FAILED
+                    attempt_span.set("error", record.error[:200])
+                else:
+                    record.status = STATUS_OK
+                    record.error = ""
+                    record.detail = ""
+            if record.status == STATUS_OK:
                 break
             if attempt < retries and self.backoff > 0:
                 self._sleep(self.backoff * (2**attempt))
         record.elapsed = self._clock() - started
+        record.finished_at = time.time()
         return record

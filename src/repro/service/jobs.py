@@ -76,6 +76,9 @@ class Job:
     cancel_requested: bool = False
     error: str = ""
     result: dict[str, Any] | None = None
+    #: Fleet-tracing trace id, minted once at admission and preserved by
+    #: journal resume — the same id spans every attempt of this job.
+    trace_id: str = ""
 
     def advance(self, new_state: str) -> None:
         """Transition to ``new_state``; raises JobStateError if illegal."""
@@ -104,6 +107,7 @@ class Job:
             "attempts": self.attempts,
             "resumed": self.resumed,
             "cached": self.cached,
+            "trace_id": self.trace_id,
         }
         if brief:
             return out

@@ -40,8 +40,10 @@ import json
 import uuid
 from typing import Any
 
+from repro import obs
 from repro.campaign.db import CampaignDB, JobRow
 from repro.campaign.engine import CampaignEngine, CampaignTask, _fn_resolvable
+from repro.obs import fleet_prometheus_text, summarize
 from repro.perf.metrics import prometheus_text
 from repro.service.jobs import (
     CANCELLED,
@@ -96,6 +98,7 @@ class LeakcheckService:
         drain_grace: float = 30.0,
         registry: CounterRegistry | None = None,
         git_rev: str | None = None,
+        spans: bool = True,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be a positive queue bound")
@@ -120,6 +123,13 @@ class LeakcheckService:
         self.engine_jobs = engine_jobs
         self.drain_grace = drain_grace
         self.git_rev = git_rev if git_rev is not None else _git_rev()
+        self.spans = spans
+        #: True when start() installed the process-global span recorder
+        #: (close() then tears it down; a caller-provided recorder stays).
+        self._obs_owner = False
+        #: Structured summary of the last graceful drain (operators grep
+        #: the ``drain:`` line the CLI renders from this).
+        self.drain_report: dict[str, Any] | None = None
 
         self.registry = registry if registry is not None else CounterRegistry()
         self._c_requests = self.registry.counter("requests")
@@ -154,6 +164,9 @@ class LeakcheckService:
         """Open the journal, resume pending jobs, start workers + listener."""
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
+        if self.spans and obs.active() is None:
+            obs.enable()
+            self._obs_owner = True
         self.db = CampaignDB(self.db_path)
         self._resume_journal()
         self._workers = [
@@ -176,6 +189,9 @@ class LeakcheckService:
         await self.wait_closed()
         if self.db is not None:
             self.db.close()
+        if self._obs_owner:
+            obs.disable()
+            self._obs_owner = False
 
     def begin_drain(self) -> None:
         """Enter drain mode; idempotent, safe to call from a signal handler."""
@@ -189,10 +205,17 @@ class LeakcheckService:
         # so the next start re-queues them; only the in-memory queue is
         # emptied.  No await between get_nowait calls, so no worker can
         # interleave and steal one mid-checkpoint.
+        checkpointed: list[str] = []
         while not self._queue.empty():
             job = self._queue.get_nowait()
             if job is not None and job.state == QUEUED:
                 self._c_drained.incr()
+                checkpointed.append(job.id)
+                # Each checkpointed job gets a final span so the drain is
+                # visible in its trace, not just in the journal.
+                self._emit_job_span(job, "checkpointed",
+                                    kind="job.checkpoint",
+                                    reason="graceful drain")
         for _ in self._workers:
             self._queue.put_nowait(_STOP)
         done, still_running = await asyncio.wait(
@@ -208,10 +231,25 @@ class LeakcheckService:
             )
         for task in still_running:
             task.cancel()
+        self.drain_report = {
+            "event": "drain",
+            "checkpointed": len(checkpointed),
+            "checkpointed_jobs": checkpointed,
+            "forced_stop": len(still_running),
+            "grace_s": self.drain_grace,
+        }
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         self._stopped.set()
+
+    def drain_summary_line(self) -> str:
+        """Structured one-line drain summary (grep ``drain:`` in logs)."""
+        report = self.drain_report or {
+            "event": "drain", "checkpointed": 0, "checkpointed_jobs": [],
+            "forced_stop": 0, "grace_s": self.drain_grace,
+        }
+        return "drain: " + json.dumps(report, sort_keys=True)
 
     def _resume_journal(self) -> None:
         """Re-queue every journalled job that never reached a terminal state."""
@@ -221,11 +259,16 @@ class LeakcheckService:
                 spec = json.loads(row.spec)
             except json.JSONDecodeError:
                 spec = {}
+            # A resumed job keeps the trace id minted at its original
+            # admission; pre-v3 rows (no trace) mint one now.
+            trace = row.trace or obs.new_trace_id()
             job = Job(
                 id=row.id, kind=row.kind, spec=spec, state=QUEUED,
                 submitted=row.submitted, attempts=row.attempts, resumed=True,
+                trace_id=trace,
             )
-            self.db.journal_update(row.id, state=QUEUED, resumed=1)
+            self.db.journal_update(row.id, state=QUEUED, resumed=1,
+                                   trace=trace)
             self._remember(job)
             self._queue.put_nowait(job)
             self._c_resumed.incr()
@@ -245,16 +288,35 @@ class LeakcheckService:
             if job.cancel_requested:
                 job.advance(CANCELLED)
                 self._journal_terminal(job)
+                self._emit_job_span(job, "cancelled")
                 continue
             job.advance(RUNNING)
             job.attempts += 1
             self.db.journal_update(
                 job.id, state=RUNNING, attempts=job.attempts
             )
+            # Root span of the job's trace: covers admission (queue-wait
+            # becomes an explicit child phase) through the terminal state.
+            job_span: Any = obs.NULL_SPAN
+            recorder = obs.active()
+            if recorder is not None and job.trace_id:
+                job_span = recorder.start_span(
+                    "service.job", kind="service.job",
+                    trace_id=job.trace_id, start_at=job.submitted,
+                    attrs={"job": job.id, "kind": job.kind,
+                           "resumed": job.resumed, "attempt": job.attempts},
+                )
+                recorder.start_span(
+                    "job.queue", kind="job.queue", parent=job_span,
+                    start_at=job.submitted, attrs={"job": job.id},
+                ).end("ok")
+            span_parent = (
+                job_span.context if job_span is not obs.NULL_SPAN else None
+            )
             started = self._loop.time()
             try:
                 state, summary, error = await self._loop.run_in_executor(
-                    None, self._execute_job, job
+                    None, self._execute_job, job, span_parent
                 )
             except Exception as exc:  # noqa: BLE001 - job isolation
                 state, summary, error = (
@@ -273,12 +335,29 @@ class LeakcheckService:
                 )
             job.advance(state)
             self._journal_terminal(job)
+            job_span.set_many({"state": job.state, "cached": job.cached})
+            if job.error:
+                job_span.set("error", job.error[:200])
+            job_span.end("ok" if job.state == DONE else job.state)
+            self._persist_spans(job.trace_id)
 
     def _execute_job(
-        self, job: Job
+        self, job: Job, span_parent: "obs.SpanContext | None" = None
     ) -> tuple[str, dict[str, Any] | None, str]:
-        """Run one job through a fresh campaign engine (executor thread)."""
+        """Run one job through a fresh campaign engine (executor thread).
+
+        ``span_parent`` is passed explicitly because ``run_in_executor``
+        does not propagate the event loop's context vars into executor
+        threads — the job span would otherwise be lost here.
+        """
         _, tasks = build_job_tasks(job.kind, job.spec)
+        run_span: Any = obs.NULL_SPAN
+        if span_parent is not None:
+            run_span = obs.start_span(
+                "job.run", kind="job.run", parent=span_parent,
+                attrs={"job": job.id, "kind": job.kind,
+                       "tasks": len(tasks)},
+            )
         engine = CampaignEngine(
             jobs=self.engine_jobs,
             timeout=self.job_timeout,
@@ -288,13 +367,46 @@ class LeakcheckService:
             db=self.db_path,
             use_cache=True,
             git_rev=self.git_rev,
+            span_parent=(
+                run_span.context if run_span is not obs.NULL_SPAN else None
+            ),
         )
         self._running[job.id] = engine
         if job.cancel_requested:
             engine.request_stop()
-        report = engine.run(tasks)
-        engine.db.close()
-        return summarize_records(report.records)
+        try:
+            report = engine.run(tasks)
+        except BaseException:
+            run_span.end("failed")
+            raise
+        finally:
+            engine.db.close()
+        outcome = summarize_records(report.records)
+        run_span.end("ok" if outcome[0] == DONE else outcome[0])
+        return outcome
+
+    def _persist_spans(self, trace_id: str) -> None:
+        """Move a trace's finished spans from the recorder into the DB."""
+        recorder = obs.active()
+        if recorder is None or self.db is None or not trace_id:
+            return
+        spans = recorder.drain(trace_id=trace_id)
+        if spans:
+            self.db.span_put_many(spans)
+
+    def _emit_job_span(self, job: Job, outcome: str, *,
+                       kind: str = "service.job", **attrs: Any) -> None:
+        """Synthesize + persist a job-level span for jobs that never ran
+        (dedup hits, queue cancels, drain checkpoints)."""
+        recorder = obs.active()
+        if recorder is None or not job.trace_id:
+            return
+        span = recorder.start_span(
+            kind, kind=kind, trace_id=job.trace_id, start_at=job.submitted,
+            attrs={"job": job.id, "kind": job.kind, **attrs},
+        )
+        span.end(outcome)
+        self._persist_spans(job.trace_id)
 
     def _journal_terminal(self, job: Job) -> None:
         result_text = (
@@ -386,7 +498,11 @@ class LeakcheckService:
                 "retry_after_s": retry_after,
             }, {"Retry-After": str(retry_after)}
 
-        job = Job(id=uuid.uuid4().hex[:12], kind=kind, spec=normalized)
+        # The trace id is minted here, at admission — the outermost entry
+        # point of the job's life — and journalled with it, so every
+        # later attempt (including after a kill -9 resume) shares it.
+        job = Job(id=uuid.uuid4().hex[:12], kind=kind, spec=normalized,
+                  trace_id=obs.new_trace_id())
         cached = self._try_cache_serve(tasks)
         if cached is not None:
             # Dedup hit: journal the job already-terminal and reply 200
@@ -395,6 +511,7 @@ class LeakcheckService:
                 job_id=job.id, kind=job.kind,
                 spec=json.dumps(normalized, sort_keys=True),
                 state=DONE, result=json.dumps(cached, sort_keys=True),
+                trace=job.trace_id,
             )
             job.advance(DONE)
             job.cached = True
@@ -403,6 +520,7 @@ class LeakcheckService:
             self._c_admitted.incr()
             self._c_dedup.incr()
             self._c_done.incr()
+            self._emit_job_span(job, "ok", cache="hit", dedup=True)
             return 200, job.to_dict(), {}
         # Write-ahead: the journal row commits before the client hears
         # "accepted", so a crash after this line can only re-run the job,
@@ -410,6 +528,7 @@ class LeakcheckService:
         self.db.journal_put(
             job_id=job.id, kind=job.kind,
             spec=json.dumps(normalized, sort_keys=True), state=QUEUED,
+            trace=job.trace_id,
         )
         self._remember(job)
         self._queue.put_nowait(job)
@@ -429,6 +548,7 @@ class LeakcheckService:
         if job.state == QUEUED:
             job.advance(CANCELLED)
             self._journal_terminal(job)
+            self._emit_job_span(job, "cancelled")
             return 200, job.to_dict(), {}
         engine = self._running.get(job_id)
         if engine is not None:
@@ -483,7 +603,28 @@ class LeakcheckService:
             if method != "GET":
                 return 405, {"error": "GET only"}, {}, "application/json"
             text = prometheus_text(self.registry, namespace="repro_service")
+            recorder = obs.active()
+            if recorder is not None:
+                # Fleet telemetry over the recent span window rides along
+                # under its own repro_obs_* namespace.
+                text += fleet_prometheus_text(summarize(recorder.recent()))
             return 200, text, {}, "text/plain; version=0.0.4"
+        if path == "/debug/spans":
+            if method != "GET":
+                return 405, {"error": "GET only"}, {}, "application/json"
+            recorder = obs.active()
+            if recorder is None:
+                return 200, {
+                    "enabled": False, "active": 0, "recorded": 0,
+                    "dropped": 0, "recent": [],
+                }, {}, "application/json"
+            return 200, {
+                "enabled": True,
+                "active": recorder.active,
+                "recorded": recorder.recorded,
+                "dropped": recorder.dropped,
+                "recent": recorder.recent(200),
+            }, {}, "application/json"
         if path == "/jobs":
             if method == "POST":
                 status, payload, headers = self._submit(body)

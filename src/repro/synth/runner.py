@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.config import (
     BLOCK_SIZE,
     MIB,
@@ -204,10 +205,15 @@ def evaluate_program(
     """Run the paired-secret oracle on one program and classify it."""
     config = synth_config(preset, defense)
     spec = compile_program(program)
-    report = run_leakcheck(
-        spec, seed=0, alpha=alpha, capacity=capacity, config=config
-    )
-    channels = classify_report(report)
+    with obs.start_span(
+        "oracle.evaluate", kind="oracle.evaluate",
+        attrs={"preset": preset, "defense": defense, "gen_seed": gen_seed},
+    ) as span:
+        report = run_leakcheck(
+            spec, seed=0, alpha=alpha, capacity=capacity, config=config
+        )
+        channels = classify_report(report)
+        span.set("leaky", report.leaky)
     return SynthResult(
         program=program,
         preset=preset,

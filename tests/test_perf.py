@@ -158,6 +158,36 @@ class TestMetrics:
             name = line.split()[2 if line.startswith("#") else 0]
             assert "." not in name
 
+    def test_every_family_has_help_and_type(self):
+        proc = _machine("sct")
+        _exercise_paths(proc)
+        lines = prometheus_text(proc.registry).splitlines()
+        families = {line.split()[0] for line in lines
+                    if not line.startswith("#")}
+        helped = {line.split()[2] for line in lines
+                  if line.startswith("# HELP ")}
+        typed = {line.split()[2] for line in lines
+                 if line.startswith("# TYPE ")}
+        # Gauges included: scrapers that key on HELP for family
+        # boundaries must parse them the same way as counters.
+        assert families and families == helped == typed
+
+    def test_label_values_are_escaped(self):
+        from repro.perf.metrics import escape_label_value, prom_sample
+
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+        sample = prom_sample("m_total", {"task": 'fig "8"\nv2'}, 3)
+        assert sample == 'm_total{task="fig \\"8\\"\\nv2"} 3'
+        # One escaped physical line: the newline must not split the sample.
+        assert len(sample.splitlines()) == 1
+
+    def test_prom_sample_renders_ints_and_floats(self):
+        from repro.perf.metrics import prom_sample
+
+        assert prom_sample("m", None, 4.0) == "m 4"
+        assert prom_sample("m", None, 0.25) == "m 0.25"
+        assert prom_sample("m", {"a": "b", "c": "d"}, 1) == 'm{a="b",c="d"} 1'
+
     def test_metrics_dict_splits_kinds(self):
         proc = _machine("sct")
         _exercise_paths(proc)
