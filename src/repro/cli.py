@@ -53,15 +53,20 @@ Commands
     requires every swept seed to match and turns the verdict into an
     exit code for CI gating.
 
-``bench [SCENARIO ...] [--out DIR] [--seed S] [--quick]
-[--compare DIR] [--threshold F] [--list] [--jobs N] [--no-cache]
-[--campaign-db FILE] [--timeout S] [--retries N]``
+``bench [SCENARIO ...] [--out DIR] [--seed S] [--quick] [--repeats N]
+[--compare DIR] [--threshold F] [--min-ratio X] [--list] [--jobs N]
+[--no-cache] [--campaign-db FILE] [--timeout S] [--retries N]``
     Run the benchmark scenario suite (all scenarios by default) and
-    write one ``BENCH_<scenario>.json`` per scenario.  ``--compare``
-    checks throughput against baseline JSONs in a directory and exits
-    non-zero on a regression beyond ``--threshold``.  Note that cached
-    bench results replay the stored measurement; pass ``--no-cache``
-    when you want fresh host-throughput numbers.
+    write one ``BENCH_<scenario>.json`` per scenario.  Each scenario
+    runs ``--repeats`` times and reports the fastest wall time (the
+    simulated columns are asserted identical across repeats).
+    ``--compare`` checks throughput against baseline JSONs in a
+    directory, printing the old→new ratio per scenario, and exits
+    non-zero on a regression beyond ``--threshold``; ``--min-ratio X``
+    additionally requires every ``steady_*`` scenario to reach X times
+    its baseline throughput (the batching speedup gate).  Note that
+    cached bench results replay the stored measurement; pass
+    ``--no-cache`` when you want fresh host-throughput numbers.
 
 ``serve [--host H] [--port P] [--capacity N] [--concurrency N]
 [--jobs N] [--timeout S] [--retries N] [--backoff S] [--drain-grace S]
@@ -91,12 +96,16 @@ Commands
     sustained jobs/sec.  Exits non-zero unless every job reached
     ``done``.
 
-``profile --victim NAME [--preset sct|ht|sgx] [--seed S]
-[--collapsed FILE] [--prom FILE] [--min-share F]``
-    Run one victim under the cycle-attribution profiler and print the
-    hierarchical where-did-the-cycles-go report (conservation-checked).
-    ``--collapsed`` exports flamegraph-ready collapsed stacks;
-    ``--prom`` exports the counter registry in Prometheus text format.
+``profile (--victim NAME | --scenario NAME) [--preset sct|ht|sgx]
+[--seed S] [--quick] [--collapsed FILE] [--prom FILE] [--min-share F]``
+    Run one victim — or one processor-backed bench scenario — under the
+    cycle-attribution profiler and print the hierarchical
+    where-did-the-cycles-go report (conservation-checked).  With the
+    profiler attached the batch API takes the scalar reference path, so
+    scenario profiles attribute the same event stream the benchmark
+    simulates.  ``--collapsed`` exports flamegraph-ready collapsed
+    stacks; ``--prom`` exports the counter registry in Prometheus text
+    format.
 
 ``synth {generate,run,minimize,corpus,verify}``
     Attack-synthesis fuzzer (docs/synth.md).  ``generate`` prints seeded
@@ -602,6 +611,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"--threshold must be a positive finite fraction, "
             f"got {args.threshold!r}"
         )
+    if args.min_ratio is not None and not (
+        args.min_ratio > 0 and math.isfinite(args.min_ratio)
+    ):
+        raise ValueError(
+            f"--min-ratio must be a positive finite multiple, "
+            f"got {args.min_ratio!r}"
+        )
     names = args.scenarios or bench.scenario_names()
     unknown = [name for name in names if name not in bench.scenario_names()]
     if unknown:
@@ -617,7 +633,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         CampaignTask(
             name=f"bench_{name}",
             fn=bench.run_scenario,
-            kwargs={"name": name, "seed": args.seed, "quick": args.quick},
+            kwargs={"name": name, "seed": args.seed, "quick": args.quick,
+                    "repeats": args.repeats},
         )
         for name in names
     ]
@@ -646,18 +663,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     if args.compare is None:
         return 0
-    failed = False
+    offenders = []
     for outcome in bench.compare(
-        results, args.compare, threshold=args.threshold
+        results, args.compare, threshold=args.threshold,
+        min_ratio=args.min_ratio,
     ):
         print(f"compare {outcome.scenario:<12} {outcome.status:<12} "
               f"{outcome.detail}")
         if outcome.status == "regression":
-            failed = True
-    if failed:
+            offenders.append(outcome)
+    if offenders:
+        named = ", ".join(
+            f"{o.scenario} ({o.ratio:.2f}x)" if o.ratio is not None
+            else o.scenario
+            for o in offenders
+        )
         print(
-            f"FAIL: throughput regressed more than "
-            f"{args.threshold:.0%} vs {args.compare}",
+            f"FAIL: throughput gate vs {args.compare} "
+            f"(allowed drop {args.threshold:.0%}"
+            + (f", required steady_* speedup {args.min_ratio:.2f}x"
+               if args.min_ratio is not None else "")
+            + f") failed for: {named}",
             file=sys.stderr,
         )
         return 1
@@ -832,15 +858,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.perf import CycleAttributor, prometheus_text
     from repro.proc import SecureProcessor
 
-    spec = get_victim(args.victim)
-    secret, _ = spec.secrets(args.seed)
-    config = preset_config(args.preset, functional_crypto=False)
-    proc = SecureProcessor(config)
-    attributor = CycleAttributor()
-    proc.attach_profiler(attributor)
-    spec.run(proc, secret)
-    attributor.verify()
-    print(f"victim={spec.name} preset={args.preset} seed={args.seed}")
+    if (args.victim is None) == (args.scenario is None):
+        raise ValueError("pass exactly one of --victim or --scenario")
+    if args.scenario is not None:
+        from repro.perf import bench
+
+        attributor, proc = bench.profile_scenario(
+            args.scenario, seed=args.seed, quick=args.quick
+        )
+        print(f"scenario={args.scenario} seed={args.seed}")
+    else:
+        spec = get_victim(args.victim)
+        secret, _ = spec.secrets(args.seed)
+        config = preset_config(args.preset, functional_crypto=False)
+        proc = SecureProcessor(config)
+        attributor = CycleAttributor()
+        proc.attach_profiler(attributor)
+        spec.run(proc, secret)
+        attributor.verify()
+        print(f"victim={spec.name} preset={args.preset} seed={args.seed}")
     print(attributor.report(min_share=args.min_share))
     if args.collapsed:
         lines = attributor.write_collapsed(args.collapsed)
@@ -1240,6 +1276,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional throughput drop before failing (default 0.2)",
     )
     bench.add_argument(
+        "--min-ratio", type=float, default=None, metavar="X",
+        help="additionally require steady_* scenarios to reach at least "
+        "X times the baseline throughput (the speedup gate; default off)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="run each scenario N times and report the fastest wall time "
+        "(noise-robust; simulated columns are asserted identical; default 3)",
+    )
+    bench.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     _add_campaign_options(bench)
@@ -1546,9 +1592,19 @@ def build_parser() -> argparse.ArgumentParser:
     profile = commands.add_parser(
         "profile", help="cycle-attribution profile of one victim run"
     )
-    profile.add_argument("--victim", choices=victim_names(), required=True)
+    profile.add_argument("--victim", choices=victim_names(), default=None)
+    from repro.perf.bench import scenario_names
+
+    profile.add_argument(
+        "--scenario", choices=scenario_names(), default=None,
+        help="profile a bench scenario's machine instead of a victim run",
+    )
     profile.add_argument("--preset", choices=preset_names(), default="sct")
     profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--quick", action="store_true",
+        help="reduced-scale workload (scenario profiling only)",
+    )
     profile.add_argument(
         "--min-share", type=float, default=0.0, metavar="F",
         help="hide components below this share of a bucket's cycles",

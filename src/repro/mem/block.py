@@ -8,15 +8,18 @@ All simulator state is tracked at 64-byte block granularity; pages are
 from __future__ import annotations
 
 from repro.config import BLOCK_SIZE, PAGE_SIZE
-from repro.utils.bitops import align_down, log2_exact
+from repro.utils.bitops import log2_exact
 
 _BLOCK_SHIFT = log2_exact(BLOCK_SIZE)
 _PAGE_SHIFT = log2_exact(PAGE_SIZE)
+# Mask form of the block alignment: this sits on every simulated access,
+# so it is a single AND rather than an ``align_down`` call.
+BLOCK_MASK = ~(BLOCK_SIZE - 1)
 
 
 def block_address(addr: int) -> int:
     """Align ``addr`` down to its containing 64-byte block."""
-    return align_down(addr, BLOCK_SIZE)
+    return addr & BLOCK_MASK
 
 
 def block_index(addr: int) -> int:

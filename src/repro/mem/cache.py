@@ -6,6 +6,19 @@ controller).  Both the data-cache hierarchy and the metadata cache at the
 memory controller instantiate this class.  Replacement defaults to true
 LRU (what the paper's mEvict analysis assumes); tree-PLRU and RANDOM are
 available for the ablation sweeps (see ``repro.mem.replacement``).
+
+Functional/timing split (docs/architecture.md): the cache is a purely
+*functional* component — :meth:`decompose` is the pure address step
+(block, set index), :meth:`lookup`/:meth:`insert`/:meth:`invalidate` are
+the ``apply`` state transitions, and no latency lives here.  Hit/service
+cycles are charged by the callers (the hierarchy and the MEE) from their
+config tables.
+
+Sets are materialised lazily: a machine-sized L3 has thousands of sets
+and a replacement-policy object each, but a typical workload touches a
+handful.  Creation uses the same per-set seed as the old eager
+constructor, so replacement behaviour (including seeded RANDOM) is
+unchanged — only the allocation time moves.
 """
 
 from __future__ import annotations
@@ -14,7 +27,6 @@ from dataclasses import dataclass
 
 from repro.config import CacheConfig
 from repro.core import Component
-from repro.mem.block import block_address
 from repro.mem.replacement import make_policy
 from repro.trace.counters import CounterRegistry
 from repro.utils.bitops import log2_exact
@@ -27,6 +39,12 @@ class CacheAccess:
     hit: bool
     evicted_addr: int | None = None
     evicted_dirty: bool = False
+
+
+# Immutable, so the two allocation-free outcomes are shared singletons
+# (inserts are the hottest call on the miss path).
+_HIT = CacheAccess(hit=True)
+_FILLED = CacheAccess(hit=False)
 
 
 class _CacheSet:
@@ -52,10 +70,11 @@ class SetAssocCache(Component):
         self.ways = config.ways
         self.replacement = replacement or getattr(config, "replacement", "lru")
         self._block_shift = log2_exact(config.block_size)
-        self._sets = [
-            _CacheSet(self.ways, self.replacement, seed + i)
-            for i in range(self.num_sets)
-        ]
+        self._block_mask = ~(config.block_size - 1)
+        # Lazily materialised sets: index -> _CacheSet, created on first
+        # fill (probes of untouched sets never allocate).
+        self._sets: dict[int, _CacheSet] = {}
+        self._seed = seed
         self.counters = CounterRegistry()
         self._hits = self.counters.counter("hits")
         self._misses = self.counters.counter("misses")
@@ -87,25 +106,42 @@ class SetAssocCache(Component):
         self._misses.value = value
 
     # ------------------------------------------------------------------
-    # Address mapping
+    # Address mapping (the pure ``decompose`` step)
     # ------------------------------------------------------------------
+
+    def decompose(self, addr: int) -> tuple[int, int]:
+        """Pure address decomposition: (block address, set index)."""
+        block = addr & self._block_mask
+        return block, (block >> self._block_shift) % self.num_sets
 
     def set_index_of(self, addr: int) -> int:
         """Cache set that the block containing ``addr`` maps to."""
         return (addr >> self._block_shift) % self.num_sets
 
+    def _set_at(self, set_index: int) -> _CacheSet:
+        """The set object at ``set_index``, materialising it on demand."""
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            cache_set = _CacheSet(
+                self.ways, self.replacement, self._seed + set_index
+            )
+            self._sets[set_index] = cache_set
+        return cache_set
+
     def _set_of(self, addr: int) -> tuple[_CacheSet, int]:
-        block = block_address(addr)
-        return self._sets[self.set_index_of(block)], block
+        block, set_index = self.decompose(addr)
+        return self._set_at(set_index), block
 
     # ------------------------------------------------------------------
-    # Operations
+    # Operations (the ``apply`` state transitions)
     # ------------------------------------------------------------------
 
     def lookup(self, addr: int, *, touch: bool = True) -> bool:
         """Probe for the block at ``addr``; optionally refresh its recency."""
-        cache_set, block = self._set_of(addr)
-        way = cache_set.index_of.get(block)
+        block = addr & self._block_mask
+        set_index = (block >> self._block_shift) % self.num_sets
+        cache_set = self._sets.get(set_index)
+        way = cache_set.index_of.get(block) if cache_set is not None else None
         if way is not None:
             if touch:
                 cache_set.policy.on_access(way)
@@ -115,7 +151,7 @@ class SetAssocCache(Component):
                     self.component_name,
                     "hit",
                     addr=block,
-                    set_index=self.set_index_of(block),
+                    set_index=set_index,
                 )
             return True
         self._misses.value += 1
@@ -124,14 +160,15 @@ class SetAssocCache(Component):
                 self.component_name,
                 "miss",
                 addr=block,
-                set_index=self.set_index_of(block),
+                set_index=set_index,
             )
         return False
 
     def contains(self, addr: int) -> bool:
         """Presence check with no side effects (no LRU update, no stats)."""
-        cache_set, block = self._set_of(addr)
-        return block in cache_set.index_of
+        block, set_index = self.decompose(addr)
+        cache_set = self._sets.get(set_index)
+        return cache_set is not None and block in cache_set.index_of
 
     def insert(self, addr: int, *, dirty: bool = False) -> CacheAccess:
         """Fill the block at ``addr``, evicting a victim if needed.
@@ -139,21 +176,25 @@ class SetAssocCache(Component):
         If the block is already present this refreshes recency (and ORs in
         the dirty bit) instead of double-filling.
         """
-        cache_set, block = self._set_of(addr)
+        block, set_index = self.decompose(addr)
+        cache_set = self._set_at(set_index)
         way = cache_set.index_of.get(block)
         if way is not None:
             cache_set.dirty[way] = cache_set.dirty[way] or dirty
             cache_set.policy.on_access(way)
-            return CacheAccess(hit=True)
+            return _HIT
         evicted_addr = None
         evicted_dirty = False
-        free_way = next(
-            (w for w, tag in enumerate(cache_set.tags) if tag is None), None
-        )
+        tags = cache_set.tags
+        free_way = None
+        for w, tag in enumerate(tags):
+            if tag is None:
+                free_way = w
+                break
         if free_way is None:
-            occupied = [tag is not None for tag in cache_set.tags]
+            occupied = [tag is not None for tag in tags]
             free_way = cache_set.policy.victim(occupied)
-            evicted_addr = cache_set.tags[free_way]
+            evicted_addr = tags[free_way]
             evicted_dirty = cache_set.dirty[free_way]
             del cache_set.index_of[evicted_addr]
         cache_set.tags[free_way] = block
@@ -168,38 +209,47 @@ class SetAssocCache(Component):
                 self.component_name,
                 "fill",
                 addr=block,
-                set_index=self.set_index_of(block),
+                set_index=set_index,
             )
             if evicted_addr is not None:
                 self.tracer.emit(
                     self.component_name,
                     "evict",
                     addr=evicted_addr,
-                    set_index=self.set_index_of(block),
+                    set_index=set_index,
                     value=float(evicted_dirty),
                 )
         if self.fault_hook is not None:
             self.fault_hook.on_cache_fill(self.config.name, block)
+        if evicted_addr is None:
+            return _FILLED
         return CacheAccess(
             hit=False, evicted_addr=evicted_addr, evicted_dirty=evicted_dirty
         )
 
     def mark_dirty(self, addr: int) -> None:
         """Set the dirty bit of a resident block (no-op if absent)."""
-        cache_set, block = self._set_of(addr)
+        block, set_index = self.decompose(addr)
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            return
         way = cache_set.index_of.get(block)
         if way is not None:
             cache_set.dirty[way] = True
 
     def is_dirty(self, addr: int) -> bool:
-        cache_set, block = self._set_of(addr)
+        block, set_index = self.decompose(addr)
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            return False
         way = cache_set.index_of.get(block)
         return cache_set.dirty[way] if way is not None else False
 
     def invalidate(self, addr: int) -> tuple[bool, bool]:
         """Remove the block at ``addr``; returns (was_present, was_dirty)."""
-        cache_set, block = self._set_of(addr)
-        way = cache_set.index_of.pop(block, None)
+        block = addr & self._block_mask
+        cache_set = self._sets.get((block >> self._block_shift) % self.num_sets)
+        way = cache_set.index_of.pop(block, None) if cache_set is not None else None
         if way is None:
             return False, False
         dirty = cache_set.dirty[way]
@@ -210,7 +260,9 @@ class SetAssocCache(Component):
     def blocks_in_set(self, set_index: int) -> list[int]:
         """Resident block addresses of one set (eviction-priority first
         under LRU; fill order otherwise)."""
-        cache_set = self._sets[set_index]
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            return []
         if self.replacement == "lru":
             stack = cache_set.policy._stack  # LRU first
             return [
@@ -220,12 +272,35 @@ class SetAssocCache(Component):
 
     def occupancy(self) -> int:
         """Total resident blocks across all sets."""
-        return sum(len(s.index_of) for s in self._sets)
+        return sum(len(s.index_of) for s in self._sets.values())
+
+    def state_snapshot(self) -> dict[int, tuple[tuple[int, bool], ...]]:
+        """Canonical functional state: set index -> ordered (block, dirty).
+
+        Ordering within a set is the eviction-priority order of
+        :meth:`blocks_in_set`, so two caches with identical snapshots
+        behave identically under future fills — the batch-vs-scalar
+        equivalence property compares exactly this.
+        """
+        snapshot: dict[int, tuple[tuple[int, bool], ...]] = {}
+        for set_index in sorted(self._sets):
+            cache_set = self._sets[set_index]
+            if not cache_set.index_of:
+                continue
+            entries = tuple(
+                (block, cache_set.dirty[cache_set.index_of[block]])
+                for block in self.blocks_in_set(set_index)
+            )
+            snapshot[set_index] = entries
+        return snapshot
 
     def __iter__(self):
-        for cache_set in self._sets:
+        for cache_set in self._sets.values():
             yield from cache_set.index_of.keys()
 
     def clear(self) -> None:
-        for i, cache_set in enumerate(self._sets):
-            self._sets[i] = _CacheSet(self.ways, self.replacement, i)
+        # Matches the old eager clear(), which rebuilt set ``i`` with
+        # policy seed ``i`` (not ``seed + i``): drop every set and let
+        # lazy re-creation run from a zero seed base.
+        self._sets = {}
+        self._seed = 0

@@ -28,6 +28,10 @@ class DramModel(Component):
     def __init__(self, config: DramConfig) -> None:
         self.config = config
         self._banks = [_BankState() for _ in range(config.banks)]
+        # Memoised pure decomposition addr -> (bank index, row).  The
+        # working set of distinct block addresses in any run is tiny
+        # compared to the access count, so the table converges fast.
+        self._decompose: dict[int, tuple[int, int]] = {}
         self.counters = CounterRegistry()
         self._reads = self.counters.counter("reads")
         self._writes = self.counters.counter("writes")
@@ -64,6 +68,14 @@ class DramModel(Component):
     def bank_of(self, addr: int) -> int:
         return bank_of(addr, self.config.banks)
 
+    def decompose(self, addr: int) -> tuple[int, int]:
+        """Pure address decomposition: (bank index, row), memoised."""
+        parts = self._decompose.get(addr)
+        if parts is None:
+            parts = (bank_of(addr, self.config.banks), addr // self.config.row_size)
+            self._decompose[addr] = parts
+        return parts
+
     def access(self, addr: int, now: int, *, is_write: bool = False) -> int:
         """Perform one block access starting at cycle ``now``; return latency.
 
@@ -83,10 +95,9 @@ class DramModel(Component):
         """
         if self.fault_hook is not None:
             self.fault_hook.on_dram_access(addr, now, is_write=is_write)
-        bank_index = self.bank_of(addr)
+        bank_index, row = self.decompose(addr)
         bank = self._banks[bank_index]
         wait = max(0, bank.busy_until - now)
-        row = self._row_of(addr)
         if bank.open_row == row:
             service = self.config.row_hit_latency
             self._row_hits.value += 1

@@ -15,7 +15,7 @@ from repro.mem.block import block_address
 from repro.mem.cache import SetAssocCache
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyResult:
     """Outcome of one data-cache access.
 
@@ -58,6 +58,17 @@ class DataCacheSystem(Component):
         self.cores_per_socket = config.cores // config.sockets
         self.core_caches = [CoreCaches(config, i) for i in range(config.cores)]
         self.l3s = [SetAssocCache(config.l3) for _ in range(config.sockets)]
+        # Timing table, precomputed once: cumulative lookup cost after
+        # probing 1, 2 or 3 levels.  The functional probes above never
+        # carry latency themselves (see the functional/timing split in
+        # docs/architecture.md); all hierarchy cycles come from here.
+        l1, l2, l3 = (
+            config.l1.hit_latency,
+            config.l2.hit_latency,
+            config.l3.hit_latency,
+        )
+        self.hit_latency = (l1, l1 + l2, l1 + l2 + l3)
+        self.miss_lookup_latency = l1 + l2 + l3
         self.init_component("caches")
 
     def children(self):
@@ -78,31 +89,26 @@ class DataCacheSystem(Component):
         block = block_address(addr)
         caches = self.core_caches[core]
         l3 = self._l3_of(core)
-        config = self.config
+        hit_latency = self.hit_latency
 
         if caches.l1.lookup(block):
             if is_write:
                 caches.l1.mark_dirty(block)
-            return HierarchyResult(hit_level=1, latency=config.l1.hit_latency)
+            return HierarchyResult(hit_level=1, latency=hit_latency[0])
 
-        lookup_cost = config.l1.hit_latency
         if caches.l2.lookup(block):
-            latency = lookup_cost + config.l2.hit_latency
             result = self._promote_to_l1(core, block, dirty=is_write)
             result.hit_level = 2
-            result.latency += latency
+            result.latency += hit_latency[1]
             return result
 
-        lookup_cost += config.l2.hit_latency
         if l3.lookup(block):
-            latency = lookup_cost + config.l3.hit_latency
             result = self._promote_to_l1_l2(core, block, dirty=is_write)
             result.hit_level = 3
-            result.latency += latency
+            result.latency += hit_latency[2]
             return result
 
-        lookup_cost += config.l3.hit_latency
-        return HierarchyResult(hit_level=None, latency=lookup_cost)
+        return HierarchyResult(hit_level=None, latency=self.miss_lookup_latency)
 
     def fill(self, core: int, addr: int, *, dirty: bool) -> list[int]:
         """Install a block fetched from memory at all levels.

@@ -121,9 +121,12 @@ class MemoryController(Component):
     def read_block(self, addr: int, now: int, txn: Txn = NULL_TXN) -> int:
         """Service a block read at cycle ``now``; return its latency.
 
-        While the transaction is profiling, the latency is charged in
-        parts whose sum equals the return value: ``queue`` (enqueue plus
-        bank wait), ``service`` (DRAM row service plus bus transfer) and
+        This is the timing (``charge``) step of the memory path: the DRAM
+        model decomposes the address (memoised bank/row) and mutates bank
+        state, while every cycle the core observes is charged here.  While
+        the transaction is profiling, the latency is charged in parts
+        whose sum equals the return value: ``queue`` (enqueue plus bank
+        wait), ``service`` (DRAM row service plus bus transfer) and
         ``forward`` (store-to-load forward out of the write queue).
         """
         block = block_address(addr)

@@ -41,9 +41,12 @@ class LruPolicy(ReplacementPolicy):
         self._stack: list[int] = []  # LRU first
 
     def on_access(self, way: int) -> None:
-        if way in self._stack:
-            self._stack.remove(way)
-        self._stack.append(way)
+        stack = self._stack
+        if stack and stack[-1] == way:
+            return  # already MRU (the common case on repeated hits)
+        if way in stack:
+            stack.remove(way)
+        stack.append(way)
 
     def on_fill(self, way: int) -> None:
         self.on_access(way)

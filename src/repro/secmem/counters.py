@@ -14,6 +14,12 @@ Three organisations from Section IV-A / Figure 3:
 blocks must be re-encrypted, and with which old/new counter values — the
 memory encryption engine turns that into functional re-encryption plus a
 long bank-occupying burst (the VUL-1 timing signal).
+
+The store is a purely *functional* component (docs/architecture.md):
+:meth:`EncryptionCounterStore.decompose` is the pure address step mapping
+a data block to its (counter-block, slot) coordinates, ``increment`` is
+the ``apply`` state transition, and no latency lives here — the engine
+charges all counter-path cycles from its own timing tables.
 """
 
 from __future__ import annotations
@@ -75,6 +81,11 @@ class EncryptionCounterStore(Component):
     # Queries
     # ------------------------------------------------------------------
 
+    def decompose(self, block: int) -> tuple[int, int]:
+        """Pure address step: (counter-block index, slot) of a data block."""
+        per_cb = self.layout.blocks_per_counter_block
+        return block // per_cb, block % per_cb
+
     def _split_block(self, cb_index: int) -> _SplitCounterBlock:
         state = self._split.get(cb_index)
         if state is None:
@@ -91,8 +102,7 @@ class EncryptionCounterStore(Component):
     def current(self, block: int) -> int:
         """Counter value a block's ciphertext is currently encrypted under."""
         if self.scheme is CounterScheme.SPLIT:
-            cb_index = block // self.layout.blocks_per_counter_block
-            slot = block % self.layout.blocks_per_counter_block
+            cb_index, slot = self.decompose(block)
             state = self._split_block(cb_index)
             return self.fused(state.major, state.minors[slot])
         if self.scheme is CounterScheme.MONOLITHIC:
@@ -138,8 +148,7 @@ class EncryptionCounterStore(Component):
         return self._increment_global(block)
 
     def _increment_split(self, block: int) -> CounterEvent:
-        cb_index = block // self.layout.blocks_per_counter_block
-        slot = block % self.layout.blocks_per_counter_block
+        cb_index, slot = self.decompose(block)
         state = self._split_block(cb_index)
         if state.minors[slot] < self.config.minor_max:
             state.minors[slot] += 1
@@ -245,8 +254,7 @@ class EncryptionCounterStore(Component):
         the state after checking detection.
         """
         if self.scheme is CounterScheme.SPLIT:
-            cb_index = block // self.layout.blocks_per_counter_block
-            slot = block % self.layout.blocks_per_counter_block
+            cb_index, slot = self.decompose(block)
             state = self._split_block(cb_index)
             old = state.minors[slot]
             state.minors[slot] = value

@@ -125,6 +125,12 @@ class MemoryEncryptionEngine(Component):
         self._cb_hashes: dict[int, int] = {}
         # Plaintext pending in the write queue, consumed at service time.
         self._pending_plain: dict[int, bytes] = {}
+        # Memoised pure decomposition of a protected data block address
+        # into its metadata coordinates (counter-block address/index, MAC
+        # address).  Shared by the read path, the write sink and the
+        # batch tables; see the functional/timing split in
+        # docs/architecture.md.
+        self._decompose: dict[int, tuple[int, int, int]] = {}
         self.stats = EngineStats()
         # Instrument slots (tracer + fault hook, shared by every
         # memory-side layer via the component graph) start detached; the
@@ -214,6 +220,29 @@ class MemoryEncryptionEngine(Component):
         return addr >> self._DOMAIN_SHIFT, addr & ((1 << self._DOMAIN_SHIFT) - 1)
 
     # ------------------------------------------------------------------
+    # Address decomposition (the pure ``decompose`` step)
+    # ------------------------------------------------------------------
+
+    def decompose(self, block_addr: int) -> tuple[int, int, int]:
+        """Metadata coordinates of a protected data block, memoised.
+
+        Returns ``(counter_block_addr, counter_block_index, mac_addr)``.
+        ``block_addr`` must already be block-aligned protected data (the
+        callers validate before decomposing).
+        """
+        parts = self._decompose.get(block_addr)
+        if parts is None:
+            layout = self.layout
+            cb_index = layout.counter_block_index(block_addr)
+            parts = (
+                layout.counter_block_addr_of_index(cb_index),
+                cb_index,
+                layout.mac_addr(block_addr),
+            )
+            self._decompose[block_addr] = parts
+        return parts
+
+    # ------------------------------------------------------------------
     # Counter-block hashing (freshness binding, Section IV-C)
     # ------------------------------------------------------------------
 
@@ -280,8 +309,7 @@ class MemoryEncryptionEngine(Component):
             own = txn = Txn("read", addr=block_addr, profiling=True)
         self.stats.reads += 1
         crypto = self.config.crypto
-        cb_addr = self.layout.counter_block_addr(block_addr)
-        cb_index = self.layout.counter_block_index(block_addr)
+        cb_addr, cb_index, mac_addr = self.decompose(block_addr)
 
         data = txn.leg("data.")
         data_latency = self.memctrl.read_block(block_addr, now, txn=data)
@@ -289,7 +317,7 @@ class MemoryEncryptionEngine(Component):
             # Classical design: the MAC is a separate memory word fetched
             # on every read (constant extra latency, no state dependence).
             data_latency += self.memctrl.read_block(
-                self.layout.mac_addr(block_addr), now + data_latency, txn=data
+                mac_addr, now + data_latency, txn=data
             )
         stall = max(0, self.memctrl.dram.busy_until(block_addr) - now - data_latency)
 
@@ -378,9 +406,12 @@ class MemoryEncryptionEngine(Component):
         crypto = self.config.crypto
         domain = self._domain_of_cb(cb_index)
         tree = self._tree_for(domain)
+        domain_tag = domain << self._DOMAIN_SHIFT
         missed: list[tuple[int, int, int]] = []
-        for level, index in tree.path_nodes(cb_index):
-            node_addr = self._tag_node_addr(self.layout.node_addr(level, index), domain)
+        # The path is a pure function of the layout — iterate the memoised
+        # decomposition table instead of re-deriving it per access.
+        for level, index, base_node_addr in self.layout.path_of(cb_index):
+            node_addr = base_node_addr | domain_tag
             if self.tree_cache.lookup(node_addr):
                 break
             missed.append((level, index, node_addr))
@@ -519,8 +550,7 @@ class MemoryEncryptionEngine(Component):
             self.tracer.emit("mee", "write_service", cycle=now, addr=block_addr)
         crypto = self.config.crypto
         cycles = 0
-        cb_addr = self.layout.counter_block_addr(block_addr)
-        cb_index = self.layout.counter_block_index(block_addr)
+        cb_addr, cb_index, _ = self.decompose(block_addr)
 
         # The counter must be on-chip to encrypt the outgoing block.
         if not self.meta_cache.lookup(cb_addr):

@@ -103,7 +103,13 @@ def synth_config(
 
 
 def _execute(proc: SecureProcessor, program: Program, secret: object) -> None:
-    """Run one side of the paired experiment (``secret`` is the bit)."""
+    """Run one side of the paired experiment (``secret`` is the bit).
+
+    The whole program is a pure function of the bit (guards are resolved
+    at record time), so it compiles to one access batch; under the
+    oracle's tracer this executes the scalar reference path, keeping
+    event streams identical to per-op execution.
+    """
     bit = int(secret) & 1  # type: ignore[call-overload]
     allocator = PageAllocator(
         proc.layout.data_size // PAGE_SIZE, cores=proc.config.cores
@@ -112,23 +118,25 @@ def _execute(proc: SecureProcessor, program: Program, secret: object) -> None:
         proc, allocator, core=0, cleanse=program.cleanse, name="synth"
     )
     base = process.alloc(program.pages)
+    batch = process.batch()
     for op in program.ops:
         if op.guard is Guard.IF_ONE and bit != 1:
             continue
         if op.guard is Guard.IF_ZERO and bit != 0:
             continue
         if op.kind is OpKind.DRAIN:
-            proc.drain_writes()
+            batch.drain()
             continue
         for line in op_lines(program, op):
             vaddr = base + line * BLOCK_SIZE
             if op.kind is OpKind.READ:
-                process.read(vaddr)
+                batch.read(vaddr)
             elif op.kind is OpKind.WRITE:
-                process.write(vaddr, b"\x5a")
+                batch.write(vaddr, b"\x5a")
             else:  # FLUSH / EVICT
-                process.flush(vaddr)
-    proc.drain_writes()
+                batch.flush(vaddr)
+    batch.drain()
+    batch.run()
 
 
 def compile_program(program: Program, *, name: str = "synth") -> VictimSpec:
